@@ -1,0 +1,36 @@
+// Command gpuinfo prints the simulated device geometry and the occupancy
+// arithmetic of the paper's §2 (the motivation for Pagoda), plus the
+// MasterKernel's occupancy analysis.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+)
+
+func main() {
+	cfg := gpu.TitanX()
+	fmt.Println("Simulated device: NVIDIA Maxwell Titan X")
+	fmt.Printf("  SMMs:                 %d\n", cfg.NumSMMs)
+	fmt.Printf("  CUDA cores:           %d (%d per SMM)\n",
+		cfg.NumSMMs*int(cfg.IssueWidth)*cfg.ThreadsPerWarp, int(cfg.IssueWidth)*cfg.ThreadsPerWarp)
+	fmt.Printf("  Warps per SMM:        %d (%d threads)\n", cfg.WarpsPerSMM, cfg.MaxResidentThreads())
+	fmt.Printf("  Shared mem per SMM:   %d KB\n", cfg.SharedPerSMM/1024)
+	fmt.Printf("  Registers per SMM:    %dK x 32-bit\n", cfg.RegsPerSMM/1024)
+	fmt.Printf("  Max TBs per SMM:      %d\n", cfg.MaxTBsPerSMM)
+	fmt.Printf("  Device warp capacity: %d\n\n", cfg.TotalWarps())
+
+	fmt.Println("Narrow-task occupancy (256-thread task = 8 warps), per §2:")
+	one := gpu.NarrowTaskOccupancy(cfg, 256, 1)
+	hq := gpu.NarrowTaskOccupancy(cfg, 256, 32)
+	fmt.Printf("  1 task at a time:       %5.2f%%  (paper: 0.52%%)\n", one*100)
+	fmt.Printf("  32 tasks under HyperQ:  %5.2f%%  (paper: 16.67%%)\n\n", hq*100)
+
+	fmt.Println("MasterKernel launch analysis (2 MTBs/SMM x 1024 threads, 32KB smem, 32 regs):")
+	occ := gpu.TheoreticalOccupancy(cfg, gpu.LaunchSpec{
+		BlockThreads: 1024, SharedPerTB: 32 * 1024, RegsPerThread: 32,
+	})
+	fmt.Printf("  Resident TBs/SMM: %d, warps/SMM: %d, occupancy: %.0f%% (limited by %s)\n",
+		occ.TBsPerSMM, occ.WarpsPerSMM, occ.Fraction*100, occ.LimitedBy)
+}

@@ -1,0 +1,67 @@
+// Command pagodabench regenerates the tables and figures of the Pagoda
+// paper's evaluation (§6) on the simulated Titan X.
+//
+// Usage:
+//
+//	pagodabench -exp fig5            # one experiment
+//	pagodabench -exp all -tasks 8192 # the full evaluation at a given scale
+//
+// The paper's runs use -tasks 32768; the default 2048 preserves every shape
+// at laptop runtimes. Output is aligned text, one block per table/figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: all, "+fmt.Sprint(harness.Experiments()))
+	tasks := flag.Int("tasks", 2048, "tasks per benchmark (paper: 32768)")
+	smms := flag.Int("smms", 24, "simulated SMM count (Titan X: 24)")
+	seed := flag.Int64("seed", 1, "workload generation seed")
+	format := flag.String("format", "text", "output format: text, csv, json")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	p := harness.Params{Tasks: *tasks, SMMs: *smms, Seed: *seed}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = harness.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := harness.Run(id, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		switch *format {
+		case "csv":
+			if err := rep.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		case "json":
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		default:
+			rep.Fprint(os.Stdout)
+			fmt.Printf("(%s regenerated in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command pagodatrace runs a narrow-task workload on Pagoda with execution
+// tracing enabled and writes a Chrome trace-event JSON timeline (load it in
+// chrome://tracing or https://ui.perfetto.dev) showing every task span per
+// MTB — the reproduction's answer to profiling a MasterKernel run with
+// nvprof.
+//
+// Usage:
+//
+//	pagodatrace -bench MB -tasks 256 -o trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	benchName := flag.String("bench", "MB", "workload: MB, FB, BF, CONV, DCT, MM, SLUD, 3DES, MPE")
+	tasks := flag.Int("tasks", 256, "number of tasks")
+	threads := flag.Int("threads", 128, "threads per task")
+	smms := flag.Int("smms", 8, "simulated SMMs")
+	out := flag.String("o", "trace.json", "output file")
+	flag.Parse()
+
+	b, err := workloads.ByName(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defs := b.Make(workloads.Options{Tasks: *tasks, Threads: *threads, Seed: 1})
+
+	eng := sim.New()
+	gcfg := gpu.TitanX()
+	gcfg.NumSMMs = *smms
+	dev := gpu.NewDevice(eng, gcfg)
+	bus := pcie.New(eng, pcie.Default())
+	ctx := cuda.NewContext(eng, dev, bus, cuda.DefaultConfig())
+	rt := core.NewRuntime(ctx, core.DefaultConfig())
+
+	tr := trace.New()
+	dev.Trace = tr
+	rt.Trace = tr
+
+	eng.Spawn("host", func(p *sim.Proc) {
+		for i := range defs {
+			td := &defs[i]
+			rt.TaskSpawn(p, core.TaskSpec{
+				Threads:   td.Threads,
+				Blocks:    td.Blocks,
+				SharedMem: td.SharedMem,
+				Sync:      td.Sync,
+				ArgBytes:  td.ArgBytes,
+				Kernel:    func(tc *core.TaskCtx) { td.Kernel(tc) },
+			})
+		}
+		rt.WaitAll(p)
+		rt.Shutdown(p)
+	})
+	end := eng.Run()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteChromeJSON(f); err != nil {
+		log.Fatal(err)
+	}
+
+	st := rt.Stats()
+	fmt.Printf("ran %d %s tasks in %.2f ms simulated; wrote %d spans to %s\n",
+		st.Completed, *benchName, end/1e6, tr.Len(), *out)
+	for cat, s := range tr.Summary() {
+		fmt.Printf("  %-12s %6d spans, %10.1f us total\n", cat, s.Count, s.Busy/1e3)
+	}
+}

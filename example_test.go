@@ -1,0 +1,61 @@
+package pagoda_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleSystem shows the smallest Pagoda program: spawn a narrow task,
+// wait for it, read the stats. The simulation is deterministic, so the
+// output is stable.
+func ExampleSystem() {
+	cfg := pagoda.DefaultConfig()
+	cfg.GPU.NumSMMs = 2 // a small device keeps the example fast
+
+	sys := pagoda.New(cfg)
+	sum := 0
+	sys.Run(func(h *pagoda.Host) {
+		id := h.Spawn(pagoda.Task{
+			Threads: 64,
+			Kernel: func(tc *pagoda.TaskCtx) {
+				tc.ForEachLane(func(tid int) { sum += tid }) // getTid()
+				tc.Compute(100)
+			},
+		})
+		h.Wait(id)
+	})
+	st := sys.Stats()
+	fmt.Printf("completed %d task(s), sum of thread IDs = %d\n", st.Completed, sum)
+	// Output: completed 1 task(s), sum of thread IDs = 2016
+}
+
+// ExampleHost_WaitAll shows bulk spawning with shared memory and
+// sub-threadblock synchronization — the Table 1 GPU-side API.
+func ExampleHost_WaitAll() {
+	cfg := pagoda.DefaultConfig()
+	cfg.GPU.NumSMMs = 2
+
+	sys := pagoda.New(cfg)
+	ran := 0
+	sys.Run(func(h *pagoda.Host) {
+		for i := 0; i < 10; i++ {
+			h.Spawn(pagoda.Task{
+				Threads:   128,
+				SharedMem: 2048,
+				Sync:      true,
+				Kernel: func(tc *pagoda.TaskCtx) {
+					buf := tc.Shared() // getSMPtr()
+					buf[0] = 1
+					tc.SyncBlock() // syncBlock()
+					if tc.WarpInBlock() == 0 {
+						ran++
+					}
+				},
+			})
+		}
+		h.WaitAll()
+	})
+	fmt.Println("tasks ran:", ran)
+	// Output: tasks ran: 10
+}

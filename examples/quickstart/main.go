@@ -1,0 +1,70 @@
+// Quickstart: spawn a few hundred narrow vector-scale tasks onto Pagoda,
+// wait for them, and verify the results — the smallest end-to-end use of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const (
+		numTasks = 400
+		elems    = 1024 // per task: a narrow task of 128 threads
+	)
+
+	// One input/output vector per task; the kernels do the real math.
+	inputs := make([][]float32, numTasks)
+	outputs := make([][]float32, numTasks)
+	for i := range inputs {
+		inputs[i] = make([]float32, elems)
+		outputs[i] = make([]float32, elems)
+		for j := range inputs[i] {
+			inputs[i][j] = float32(i + j)
+		}
+	}
+
+	sys := pagoda.New(pagoda.DefaultConfig())
+	endNs := sys.Run(func(h *pagoda.Host) {
+		ids := make([]pagoda.TaskID, numTasks)
+		for i := 0; i < numTasks; i++ {
+			i := i
+			h.CopyToDevice(elems * 4) // stage the input over PCIe
+			ids[i] = h.Spawn(pagoda.Task{
+				Threads: 128,
+				Kernel: func(tc *pagoda.TaskCtx) {
+					// y = 2x + 1, split across the task's threads.
+					tc.ForEachLane(func(tid int) {
+						for j := tid; j < elems; j += tc.Threads() {
+							outputs[i][j] = 2*inputs[i][j] + 1
+						}
+					})
+					tc.Compute(float64(elems) / 32 * 2) // 2 cycles per element per lane
+					tc.GlobalRead(elems * 4)
+					tc.GlobalWrite(elems * 4)
+				},
+			})
+		}
+		// Poll one task with check(), then wait for everything.
+		fmt.Printf("task %d done yet? %v\n", ids[0], h.Check(ids[0]))
+		h.WaitAll()
+		for range ids {
+			h.CopyFromDevice(elems * 4)
+		}
+	})
+
+	for i := range outputs {
+		for j := range outputs[i] {
+			if want := 2*inputs[i][j] + 1; outputs[i][j] != want {
+				log.Fatalf("task %d element %d: got %v, want %v", i, j, outputs[i][j], want)
+			}
+		}
+	}
+	st := sys.Stats()
+	fmt.Printf("ran %d narrow tasks in %.2f ms of simulated GPU time\n", numTasks, endNs/1e6)
+	fmt.Println(st)
+	fmt.Println("all results verified")
+}

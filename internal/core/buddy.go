@@ -1,0 +1,186 @@
+package core
+
+// Buddy is the software shared-memory allocator of §5.1: memory blocks form
+// a complete binary tree laid out as an array ("arranged as an array in the
+// shared memory itself"). The leaves are MinBlock-byte blocks; each parent
+// represents a block twice as large. A marked node is allocated.
+//
+// Invariant (as stated in the paper): if a node is marked, its parent is
+// marked. Allocation therefore only needs to find an *unmarked* node at the
+// right level — an unmarked node implies a fully free subtree — then mark the
+// node plus all of its ancestors and descendants. Deallocation unmarks the
+// descendants and walks up unmarking ancestors while the sibling is free.
+//
+// With the paper's parameters (32 KB arena, 512 B granularity) the tree has
+// 64 leaves and 127 nodes, stored 1-based in a 128-element array — "the total
+// number of nodes in the tree is 128, small enough to fit in the shared
+// memory".
+//
+// Only the MTB's scheduler warp allocates and deallocates, so no locking is
+// needed; executor warps merely mark blocks for deferred deallocation
+// (deallocMarkedSM in Algorithm 1).
+type Buddy struct {
+	arena    int // total bytes
+	minBlock int
+	levels   int // tree depth; level 0 is the root
+	marked   []bool
+	pending  []int // nodes marked for deferred deallocation
+	// allocated tracks currently allocated bytes (diagnostics/tests).
+	allocated int
+}
+
+// NewBuddy builds an allocator over an arena of the given size. arena and
+// minBlock must be powers of two with arena >= minBlock.
+func NewBuddy(arena, minBlock int) *Buddy {
+	if arena <= 0 || minBlock <= 0 || arena&(arena-1) != 0 || minBlock&(minBlock-1) != 0 || arena < minBlock {
+		panic("core: buddy arena and min block must be powers of two, arena >= minBlock")
+	}
+	levels := 0
+	for s := arena; s > minBlock; s >>= 1 {
+		levels++
+	}
+	nodes := 1 << (levels + 1) // 1-based array; index 0 unused
+	return &Buddy{arena: arena, minBlock: minBlock, levels: levels, marked: make([]bool, nodes)}
+}
+
+// ArenaSize returns the managed bytes.
+func (b *Buddy) ArenaSize() int { return b.arena }
+
+// Allocated returns currently allocated bytes (not counting pending frees).
+func (b *Buddy) Allocated() int { return b.allocated }
+
+// PendingFrees returns the number of blocks awaiting DrainPending.
+func (b *Buddy) PendingFrees() int { return len(b.pending) }
+
+// levelFor returns the tree level whose block size is the smallest >= size,
+// or -1 if size exceeds the arena.
+func (b *Buddy) levelFor(size int) int {
+	if size > b.arena {
+		return -1
+	}
+	lvl := b.levels
+	block := b.minBlock
+	for block < size {
+		block <<= 1
+		lvl--
+	}
+	return lvl
+}
+
+// nodeSize returns the block size of a node at the given level.
+func (b *Buddy) nodeSize(level int) int { return b.arena >> level }
+
+// nodeOffset returns the arena byte offset of node n.
+func (b *Buddy) nodeOffset(n int) int {
+	level := 0
+	for (1 << (level + 1)) <= n {
+		level++
+	}
+	first := 1 << level
+	return (n - first) * b.nodeSize(level)
+}
+
+// Alloc reserves a block of at least `size` bytes. It returns the arena
+// offset and the node handle to pass to Free/MarkForDealloc. ok is false when
+// no block of the required size is free (the caller retries after draining
+// pending frees, per Algorithm 1 line 22).
+func (b *Buddy) Alloc(size int) (offset, node int, ok bool) {
+	if size <= 0 {
+		panic("core: non-positive allocation")
+	}
+	lvl := b.levelFor(size)
+	if lvl < 0 {
+		return 0, 0, false
+	}
+	first := 1 << lvl
+	for n := first; n < first*2; n++ {
+		if !b.marked[n] {
+			b.markSubtree(n)
+			b.markAncestors(n)
+			b.allocated += b.nodeSize(lvl)
+			return b.nodeOffset(n), n, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (b *Buddy) markSubtree(n int) {
+	if n >= len(b.marked) {
+		return
+	}
+	b.marked[n] = true
+	b.markSubtree(2 * n)
+	b.markSubtree(2*n + 1)
+}
+
+func (b *Buddy) markAncestors(n int) {
+	for n > 1 {
+		n /= 2
+		b.marked[n] = true
+	}
+}
+
+// Free releases a node returned by Alloc: unmark the subtree, then walk up
+// unmarking each ancestor whose other child is free.
+func (b *Buddy) Free(node int) {
+	if node <= 0 || node >= len(b.marked) || !b.marked[node] {
+		panic("core: Free of invalid or unallocated node")
+	}
+	level := 0
+	for (1 << (level + 1)) <= node {
+		level++
+	}
+	b.allocated -= b.nodeSize(level)
+	b.unmarkSubtree(node)
+	for n := node; n > 1; {
+		sibling := n ^ 1
+		if b.marked[sibling] {
+			break
+		}
+		n /= 2
+		b.marked[n] = false
+	}
+}
+
+func (b *Buddy) unmarkSubtree(n int) {
+	if n >= len(b.marked) {
+		return
+	}
+	b.marked[n] = false
+	b.unmarkSubtree(2 * n)
+	b.unmarkSubtree(2*n + 1)
+}
+
+// MarkForDealloc records a block for deferred deallocation. Executor warps
+// call this when a threadblock finishes; the scheduler warp later drains the
+// list. (Immediate freeing by executors could race with the scheduler's
+// allocations — §4.3.)
+func (b *Buddy) MarkForDealloc(node int) {
+	b.pending = append(b.pending, node)
+}
+
+// DrainPending frees every block marked for deallocation and reports how
+// many were freed (deallocMarkedSM in Algorithm 1).
+func (b *Buddy) DrainPending() int {
+	n := len(b.pending)
+	for _, node := range b.pending {
+		b.Free(node)
+	}
+	b.pending = b.pending[:0]
+	return n
+}
+
+// NumNodes returns the size of the node array including the unused slot 0
+// (128 for the paper's 32 KB / 512 B configuration).
+func (b *Buddy) NumNodes() int { return len(b.marked) }
+
+// invariantOK verifies "marked node implies marked parent" (used by property
+// tests).
+func (b *Buddy) invariantOK() bool {
+	for n := 2; n < len(b.marked); n++ {
+		if b.marked[n] && !b.marked[n/2] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// DumpState writes a human-readable snapshot of the runtime: host/device
+// TaskTable mirrors (only non-idle entries), WarpTable occupancy, allocator
+// and barrier usage per MTB. It reads simulation state directly, so call it
+// between Engine.RunUntil steps or after Run returns — it is the tool for
+// diagnosing a wedged run (pair with sim.Engine.BlockedProcs).
+func (rt *Runtime) DumpState(w io.Writer) {
+	fmt.Fprintf(w, "Pagoda runtime @ %.0f cycles: spawned=%d completed=%d failed=%d copybacks=%d\n",
+		rt.Eng.Now(), rt.spawned, rt.deviceCompleted, rt.failedTasks, rt.CopyBacks)
+	fmt.Fprintf(w, "lastSpawned=%d lastFlushed=%d shutdown=%v\n", rt.lastSpawned, rt.lastFlushed, rt.shutdown)
+	for c, m := range rt.mtbs {
+		busy := 0
+		for _, s := range m.slots {
+			if s.exec {
+				busy++
+			}
+		}
+		barsUsed := 0
+		for _, u := range m.barInUse {
+			if u {
+				barsUsed++
+			}
+		}
+		active := 0
+		for r := range m.entries {
+			he := &rt.host[c][r]
+			de := m.entries[r]
+			if he.ready != readyFree || he.h2dInFlight || de.ready != readyFree || de.sched {
+				active++
+			}
+		}
+		if busy == 0 && barsUsed == 0 && active == 0 && m.buddy.Allocated() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "MTB%02d: warps %d/%d busy, smem %d/%dB (+%d pending frees), barriers %d/%d\n",
+			c, busy, len(m.slots), m.buddy.Allocated(), m.buddy.ArenaSize(),
+			m.buddy.PendingFrees(), barsUsed, len(m.bars))
+		for r := range m.entries {
+			he := &rt.host[c][r]
+			de := m.entries[r]
+			if he.ready == readyFree && !he.h2dInFlight && de.ready == readyFree && !de.sched {
+				continue
+			}
+			fmt.Fprintf(w, "  [%02d,%02d] host{id=%d ready=%d inflight=%v} dev{id=%d ready=%d sched=%v doneCtr=%d}\n",
+				c, r, he.id, he.ready, he.h2dInFlight, de.id, de.ready, de.sched, de.doneCtr)
+		}
+	}
+}

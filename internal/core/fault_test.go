@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+func faultSystem(t *testing.T) (*sim.Engine, *Runtime) {
+	t.Helper()
+	eng := sim.New()
+	gcfg := gpu.TitanX()
+	gcfg.NumSMMs = 1
+	dev := gpu.NewDevice(eng, gcfg)
+	bus := pcie.New(eng, pcie.Default())
+	ctx := cuda.NewContext(eng, dev, bus, cuda.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.IsolateKernelPanics = true
+	return eng, NewRuntime(ctx, cfg)
+}
+
+func TestFaultyKernelIsolated(t *testing.T) {
+	eng, rt := faultSystem(t)
+	var faults []TaskID
+	rt.OnTaskFault = func(id TaskID, v any) { faults = append(faults, id) }
+	healthy := 0
+	var badID TaskID
+	runHost(t, eng, rt, func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			i := i
+			id := rt.TaskSpawn(p, TaskSpec{
+				Threads: 32, Blocks: 1,
+				Kernel: func(tc *TaskCtx) {
+					tc.Compute(200)
+					if i == 7 {
+						panic("injected kernel fault")
+					}
+					healthy++
+				},
+			})
+			if i == 7 {
+				badID = id
+			}
+		}
+		rt.WaitAll(p)
+	})
+	if healthy != 19 {
+		t.Fatalf("healthy kernels ran = %d, want 19", healthy)
+	}
+	st := rt.Stats()
+	if st.Completed != 20 {
+		t.Fatalf("Completed = %d; a faulty task must still retire its entry", st.Completed)
+	}
+	if st.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", st.Failed)
+	}
+	if len(faults) != 1 || faults[0] != badID {
+		t.Fatalf("fault hook got %v, want [%d]", faults, badID)
+	}
+}
+
+func TestFaultsDoNotLeakResources(t *testing.T) {
+	eng, rt := faultSystem(t)
+	runHost(t, eng, rt, func(p *sim.Proc) {
+		for i := 0; i < 30; i++ {
+			rt.TaskSpawn(p, TaskSpec{
+				Threads: 32, Blocks: 1, SharedMem: 4096,
+				Kernel: func(tc *TaskCtx) {
+					_ = tc.Shared()[0]
+					panic("always faults")
+				},
+			})
+		}
+		rt.WaitAll(p)
+	})
+	if st := rt.Stats(); st.Failed != 30 || st.Completed != 30 {
+		t.Fatalf("stats = %+v, want 30 failed and 30 retired", rt.Stats())
+	}
+	for _, m := range rt.mtbs {
+		m.buddy.DrainPending()
+		if m.buddy.Allocated() != 0 {
+			t.Fatalf("MTB %d leaked %d bytes after faults", m.index, m.buddy.Allocated())
+		}
+		for id, used := range m.barInUse {
+			if used {
+				t.Fatalf("MTB %d leaked barrier %d", m.index, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// warpSlot is one WarpTable entry (Table 2): bookkeeping for one executor
+// warp, stored in the MTB's shared memory.
+type warpSlot struct {
+	warpID    int // warp ID within the current task (drives getTid)
+	eNum      int // TaskTable row being executed
+	smNode    int // buddy-allocator handle (0 = no shared memory)
+	smOffset  int // shared-memory start for this threadblock (SMindex)
+	smSize    int
+	barID     int // named-barrier ID, -1 when the task needs no sync
+	exec      bool
+	execSince sim.Time
+
+	sig sim.Signal // wakes the parked executor warp
+}
+
+// MTB is one MasterKernel threadblock: a scheduler warp, 31 executor warps,
+// a WarpTable, a 32 KB shared-memory arena with its buddy allocator, and a
+// pool of 16 named barriers. Each MTB owns one TaskTable column.
+type MTB struct {
+	rt    *Runtime
+	index int
+
+	entries []*deviceEntry // this MTB's TaskTable column (device side)
+	slots   []*warpSlot
+
+	buddy *Buddy
+	arena []byte // real backing store for getSMPtr
+
+	bars     []*gpu.Barrier
+	barInUse []bool
+
+	activity  sim.Signal // new work for the scheduler warp
+	warpFreed sim.Signal // an executor warp became free
+	smemFreed sim.Signal // a block was marked for deallocation
+	barFreed  sim.Signal // a named barrier was released
+
+	ctrSite *gpu.AtomicSite // shared-memory warp/done counters
+}
+
+func newMTB(rt *Runtime, index int) *MTB {
+	cfg := rt.Cfg
+	m := &MTB{
+		rt:       rt,
+		index:    index,
+		buddy:    NewBuddy(cfg.SharedPerMTB, cfg.MinAllocBlock),
+		arena:    make([]byte, cfg.SharedPerMTB),
+		bars:     make([]*gpu.Barrier, cfg.NumBarriers),
+		barInUse: make([]bool, cfg.NumBarriers),
+		ctrSite:  gpu.NewAtomicSite(rt.Eng, rt.Ctx.Dev.Cfg.AtomicSharedLatency),
+	}
+	m.entries = make([]*deviceEntry, cfg.Rows)
+	for r := range m.entries {
+		m.entries[r] = &deviceEntry{col: index, row: r}
+	}
+	m.slots = make([]*warpSlot, cfg.ExecutorWarpsPerMTB())
+	for i := range m.slots {
+		m.slots[i] = &warpSlot{barID: -1}
+	}
+	for i := range m.bars {
+		m.bars[i] = gpu.NewBarrier(rt.Eng, 1)
+	}
+	return m
+}
+
+// wakeAll releases every parked warp of this MTB (used at shutdown).
+func (m *MTB) wakeAll() {
+	m.activity.Broadcast()
+	m.warpFreed.Broadcast()
+	m.smemFreed.Broadcast()
+	m.barFreed.Broadcast()
+	for _, s := range m.slots {
+		s.sig.Broadcast()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler warp: Algorithm 1, lines 2-28.
+// ---------------------------------------------------------------------------
+
+func (m *MTB) schedulerLoop(c *gpu.Ctx) {
+	rt := m.rt
+	for {
+		if rt.shutdown {
+			return
+		}
+		// One sweep over the column. The 32 scheduler-warp threads scan in
+		// parallel; we charge an aggregated scan cost plus one coalesced
+		// read of the column's state words.
+		c.Compute(rt.Cfg.ScanCost)
+		c.GlobalRead(len(m.entries) * 8)
+		acted := false
+		unresolved := false
+
+		// Phase 1 (lines 5-13): resolve pipelining pointers. An entry whose
+		// ready field holds a TaskID proves that task's parameters arrived
+		// in an earlier memcpy transaction, so the previous task may now be
+		// marked schedulable.
+		for _, e := range m.entries {
+			if e.ready > 1 {
+				if m.resolvePointer(c, e) {
+					acted = true
+				} else {
+					unresolved = true
+				}
+			}
+		}
+
+		// Phase 2 (lines 14-28): schedule entries whose sched flag is set.
+		for i, e := range m.entries {
+			if rt.shutdown {
+				return
+			}
+			if e.sched {
+				m.scheduleTask(c, i, e)
+				acted = true
+			}
+		}
+
+		if !acted {
+			if rt.shutdown {
+				return
+			}
+			if unresolved {
+				// A pointer is pending on another column's progress (lines
+				// 8-10: "threadfence(); continue"): keep polling, as the
+				// real scheduler warp does — parking would miss the other
+				// column's state change.
+				c.Sleep(rt.Cfg.SchedulerWakeDelay)
+				continue
+			}
+			m.activity.Wait(c.Proc())
+			// Model the polling gap between state changing in device memory
+			// and the scheduler's scan observing it.
+			c.Sleep(rt.Cfg.SchedulerWakeDelay)
+		}
+	}
+}
+
+// resolvePointer handles an entry whose ready field is a TaskID. It returns
+// true if the entry advanced to the (-1, 0) state.
+func (m *MTB) resolvePointer(c *gpu.Ctx, e *deviceEntry) bool {
+	rt := m.rt
+	prevRef := slotForTaskID(TaskID(e.ready), rt.Cfg.Rows, rt.totalEntries)
+	prev := rt.mtbs[prevRef.col].entries[prevRef.row]
+	switch {
+	case prev.id == TaskID(e.ready) && prev.ready == readyCopied:
+		// S2 sets the previous task's state to (1, 1)...
+		prev.ready = readyScheduling
+		prev.sched = true
+		c.GlobalWrite(16)
+		c.Threadfence()
+		rt.mtbs[prevRef.col].activity.Broadcast()
+	case prev.id == TaskID(e.ready) && prev.ready > 1:
+		// The previous task has not itself been resolved yet; retry later
+		// (lines 8-10: threadfence and continue).
+		c.Threadfence()
+		return false
+	default:
+		// The previous task is already scheduling, finished, or its entry
+		// was recycled: the pipelining pointer's purpose (proving the
+		// previous parameters arrived) is already served.
+	}
+	// ...and then sets the current task's state to (-1, 0).
+	e.ready = readyCopied
+	c.GlobalWrite(8)
+	return true
+}
+
+// scheduleTask performs lines 14-28 for one entry.
+func (m *MTB) scheduleTask(c *gpu.Ctx, row int, e *deviceEntry) {
+	rt := m.rt
+	warpSize := c.WarpSize()
+	e.sched = false
+	c.GlobalWrite(8)
+	e.schedTime = c.Now()
+	wpt := e.spec.warpsPerTB(warpSize)
+	e.doneCtr = e.spec.totalWarps(warpSize)
+
+	if e.spec.SharedMem > 0 || e.spec.Sync {
+		// Schedule warps per threadblock, allocating shared memory and a
+		// named barrier for each block.
+		for j := 0; j < e.spec.Blocks; j++ {
+			if rt.shutdown {
+				return
+			}
+			barID := -1
+			if e.spec.Sync && wpt > 1 {
+				barID = m.allocBarrier(c, wpt)
+				if barID < 0 {
+					return // shutdown
+				}
+			}
+			node, off := 0, 0
+			if e.spec.SharedMem > 0 {
+				var ok bool
+				node, off, ok = m.allocSM(c, e.spec.SharedMem)
+				if !ok {
+					return // shutdown
+				}
+			}
+			m.pSched(c, j*wpt, row, node, off, e.spec.SharedMem, barID, wpt)
+		}
+	} else {
+		// No shared memory or sync: schedule all warps purely on free slots.
+		m.pSched(c, 0, row, 0, 0, 0, -1, e.spec.totalWarps(warpSize))
+	}
+}
+
+// allocBarrier finds a free named-barrier ID and sizes it for wpt warps,
+// blocking until one of the 16 IDs is recycled. Returns -1 on shutdown.
+func (m *MTB) allocBarrier(c *gpu.Ctx, wpt int) int {
+	for {
+		if m.rt.shutdown {
+			return -1
+		}
+		c.Compute(2)
+		c.SharedRead(16)
+		for id, used := range m.barInUse {
+			if !used {
+				m.barInUse[id] = true
+				m.bars[id].Reset(wpt)
+				c.SharedWrite(8)
+				return id
+			}
+		}
+		m.barFreed.Wait(c.Proc())
+	}
+}
+
+func (m *MTB) releaseBarrier(c *gpu.Ctx, id int) {
+	m.barInUse[id] = false
+	c.SharedWrite(8)
+	m.barFreed.Pulse()
+}
+
+// allocSM implements lines 20-24: drain blocks marked for deallocation, then
+// try the buddy allocator, blocking on smemFreed until space appears.
+func (m *MTB) allocSM(c *gpu.Ctx, size int) (node, offset int, ok bool) {
+	for {
+		if m.rt.shutdown {
+			return 0, 0, false
+		}
+		if n := m.buddy.DrainPending(); n > 0 {
+			// Parallel unmark by the scheduler warp's threads: ~4 nodes per
+			// thread (§5.1).
+			c.Compute(float64(4 * n))
+			c.SharedWrite(16 * n)
+		}
+		c.Compute(8) // parallel level scan + subtree marking
+		c.SharedWrite(16)
+		offset, node, found := m.buddy.Alloc(size)
+		if found {
+			return node, offset, true
+		}
+		m.smemFreed.Wait(c.Proc())
+	}
+}
+
+// pSched is Algorithm 2: the scheduler warp's threads claim free executor
+// warps in parallel until `count` warps are scheduled, synchronizing each
+// sweep with a warp vote (_all) rather than __syncthreads.
+func (m *MTB) pSched(c *gpu.Ctx, baseWarp, eNum, smNode, smOffset, smSize, barID, count int) {
+	scheduled := 0
+	for scheduled < count {
+		if m.rt.shutdown {
+			return
+		}
+		c.Compute(4) // 32 threads scan the 31 slots' exec flags
+		for _, s := range m.slots {
+			if scheduled == count {
+				break
+			}
+			if s.exec {
+				continue
+			}
+			c.Compute(2) // atomicDec(warpCtr) in shared memory + slot fill
+			s.warpID = baseWarp + scheduled
+			s.eNum = eNum
+			s.smNode, s.smOffset, s.smSize = smNode, smOffset, smSize
+			s.barID = barID
+			c.ThreadfenceBlock()
+			s.exec = true
+			s.execSince = c.Now()
+			s.sig.Broadcast()
+			scheduled++
+		}
+		c.WarpVoteAll() // synchronize the scheduler warp's threads
+		if scheduled < count {
+			m.warpFreed.Wait(c.Proc())
+		}
+	}
+}
+
+// runTaskKernel invokes the task kernel, optionally isolating panics: a
+// faulty task kernel is recorded and its warps retire normally instead of
+// taking down the whole runtime — the software analogue of a kernel fault
+// killing one grid, not the GPU context.
+func (m *MTB) runTaskKernel(tc *TaskCtx, e *deviceEntry) {
+	rt := m.rt
+	if !rt.Cfg.IsolateKernelPanics {
+		e.spec.Kernel(tc)
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			rt.failedTasks++
+			if rt.OnTaskFault != nil {
+				rt.OnTaskFault(e.id, r)
+			}
+		}
+	}()
+	e.spec.Kernel(tc)
+}
+
+// ---------------------------------------------------------------------------
+// Executor warps: Algorithm 1, lines 29-43.
+// ---------------------------------------------------------------------------
+
+func (m *MTB) executorLoop(c *gpu.Ctx, slotIdx int) {
+	rt := m.rt
+	s := m.slots[slotIdx]
+	for {
+		for !s.exec {
+			if rt.shutdown {
+				return
+			}
+			s.sig.Wait(c.Proc())
+		}
+		if rt.shutdown {
+			return
+		}
+		c.SharedRead(32) // read the WarpTable slot
+		e := m.entries[s.eNum]
+		c.GlobalRead(32) // fetch the task's kernel pointer and arguments
+
+		tc := &TaskCtx{
+			gc:       c,
+			mtb:      m,
+			entry:    e,
+			warpID:   s.warpID,
+			barID:    s.barID,
+			smOffset: s.smOffset,
+			smSize:   s.smSize,
+		}
+		m.runTaskKernel(tc, e) // the warp executes the task as a subroutine
+
+		// Epilogue (lines 34-43), performed by one thread per warp.
+		wpt := e.spec.warpsPerTB(c.WarpSize())
+		lastInBlock := (s.warpID+1)%wpt == 0
+		if lastInBlock {
+			if s.smNode != 0 {
+				m.buddy.MarkForDealloc(s.smNode)
+				c.SharedWrite(8)
+				m.smemFreed.Pulse()
+			}
+			if s.barID >= 0 {
+				m.releaseBarrier(c, s.barID)
+			}
+		}
+		c.ThreadfenceBlock()
+		c.AtomicShared(m.ctrSite) // atomicDec(doneCtr)
+		e.doneCtr--
+		if e.doneCtr == 0 {
+			e.ready = readyFree // free the task entry
+			c.GlobalWrite(8)
+			e.endTime = c.Now()
+			rt.taskFinished(e)
+		}
+		s.exec = false
+		rt.busyWarpIntegral += c.Now() - s.execSince
+		m.warpFreed.Pulse()
+	}
+}

@@ -1,0 +1,51 @@
+package cuda
+
+import "repro/internal/sim"
+
+// Event is a CUDA event: recorded into a stream, it captures the simulated
+// time when all prior work in that stream has completed
+// (cudaEventRecord/cudaEventSynchronize/cudaEventElapsedTime).
+type Event struct {
+	recorded bool
+	fired    bool
+	at       sim.Time
+	sig      sim.Signal
+}
+
+// NewEvent creates an unrecorded event (cudaEventCreate).
+func (c *Context) NewEvent() *Event { return &Event{} }
+
+// Record enqueues the event on the stream: it fires when every command
+// enqueued before it has completed.
+func (e *Event) Record(host *sim.Proc, s *Stream) {
+	e.recorded = true
+	e.fired = false
+	s.enqueue(host, func(p *sim.Proc) {
+		e.fired = true
+		e.at = p.Now()
+		e.sig.Broadcast()
+	})
+}
+
+// Fired reports whether the event has completed (cudaEventQuery).
+func (e *Event) Fired() bool { return e.fired }
+
+// Synchronize blocks the host until the event fires
+// (cudaEventSynchronize). Synchronizing an unrecorded event returns
+// immediately, as CUDA does.
+func (e *Event) Synchronize(host *sim.Proc) {
+	if !e.recorded {
+		return
+	}
+	for !e.fired {
+		e.sig.Wait(host)
+	}
+}
+
+// Time returns the simulated timestamp at which the event fired; only
+// meaningful after it fired.
+func (e *Event) Time() sim.Time { return e.at }
+
+// ElapsedTime returns the cycles between two fired events
+// (cudaEventElapsedTime, which reports milliseconds; callers convert).
+func ElapsedTime(start, end *Event) sim.Time { return end.at - start.at }

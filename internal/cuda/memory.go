@@ -1,0 +1,93 @@
+package cuda
+
+import "fmt"
+
+// DevPtr is an opaque device-memory handle (the cudaMalloc return value).
+// The simulator does not store data behind it — workloads keep their data in
+// Go slices — but allocation sizes are tracked so out-of-memory behaviour
+// and footprint accounting match a real 12 GB device.
+type DevPtr int64
+
+// allocator is a simple first-fit free-list over the device address space:
+// device allocators are coarse (256-byte alignment) and allocation itself is
+// host-side bookkeeping, so a free list models cudaMalloc faithfully enough
+// for footprint and OOM behaviour.
+type allocator struct {
+	capacity int64
+	inUse    int64
+	next     DevPtr
+	// live maps base -> size.
+	live map[DevPtr]int64
+	// frees counts released allocations (diagnostics).
+	allocs, frees int
+}
+
+const devAlign = 256
+
+// MemoryInfo reports the device-memory footprint (cudaMemGetInfo).
+type MemoryInfo struct {
+	Capacity int64
+	InUse    int64
+	Free     int64
+	Live     int
+}
+
+// initAllocator sizes the heap; called lazily by Malloc.
+func (c *Context) initAllocator() {
+	if c.mem == nil {
+		capacity := c.Cfg.DeviceMemBytes
+		if capacity <= 0 {
+			capacity = 12 << 30
+		}
+		c.mem = &allocator{
+			capacity: capacity,
+			next:     devAlign,
+			live:     map[DevPtr]int64{},
+		}
+	}
+}
+
+// Malloc reserves n bytes of device memory (cudaMalloc). It returns an
+// error when the device is exhausted, as cudaMalloc does.
+func (c *Context) Malloc(n int64) (DevPtr, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("cuda: Malloc(%d): non-positive size", n)
+	}
+	c.initAllocator()
+	rounded := (n + devAlign - 1) / devAlign * devAlign
+	if c.mem.inUse+rounded > c.mem.capacity {
+		return 0, fmt.Errorf("cuda: out of device memory: %d requested, %d free",
+			rounded, c.mem.capacity-c.mem.inUse)
+	}
+	p := c.mem.next
+	c.mem.next += DevPtr(rounded)
+	c.mem.live[p] = rounded
+	c.mem.inUse += rounded
+	c.mem.allocs++
+	return p, nil
+}
+
+// Free releases a device allocation (cudaFree). Freeing an unknown pointer
+// returns an error (cudaErrorInvalidDevicePointer).
+func (c *Context) Free(p DevPtr) error {
+	c.initAllocator()
+	sz, ok := c.mem.live[p]
+	if !ok {
+		return fmt.Errorf("cuda: Free(%#x): not a live device pointer", int64(p))
+	}
+	delete(c.mem.live, p)
+	c.mem.inUse -= sz
+	c.mem.frees++
+	return nil
+}
+
+// MemGetInfo reports the footprint (cudaMemGetInfo).
+func (c *Context) MemGetInfo() MemoryInfo {
+	c.initAllocator()
+	return MemoryInfo{
+		Capacity: c.mem.capacity,
+		InUse:    c.mem.inUse,
+		Free:     c.mem.capacity - c.mem.inUse,
+		Live:     len(c.mem.live),
+	}
+}

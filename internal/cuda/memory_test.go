@@ -1,0 +1,135 @@
+package cuda
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+func TestMallocFree(t *testing.T) {
+	_, ctx := newCtx(1)
+	p1, err := ctx.Malloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ctx.Malloc(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("allocations alias")
+	}
+	info := ctx.MemGetInfo()
+	if info.Live != 2 {
+		t.Fatalf("Live = %d, want 2", info.Live)
+	}
+	// 1000 rounds to 1024 (256-byte alignment).
+	if info.InUse != 1024+64*1024 {
+		t.Fatalf("InUse = %d, want %d", info.InUse, 1024+64*1024)
+	}
+	if err := ctx.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Free(p2); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.MemGetInfo(); got.InUse != 0 || got.Live != 0 {
+		t.Fatalf("leak after frees: %+v", got)
+	}
+}
+
+func TestMallocOOM(t *testing.T) {
+	_, ctx := newCtx(1)
+	cap := ctx.MemGetInfo().Capacity
+	p, err := ctx.Malloc(cap - 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Malloc(1 << 20); err == nil {
+		t.Fatal("expected out-of-memory error")
+	}
+	if err := ctx.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Malloc(1 << 20); err != nil {
+		t.Fatalf("allocation after free failed: %v", err)
+	}
+}
+
+func TestFreeInvalidPointer(t *testing.T) {
+	_, ctx := newCtx(1)
+	if err := ctx.Free(DevPtr(12345)); err == nil {
+		t.Fatal("expected invalid-pointer error")
+	}
+}
+
+func TestMallocNonPositive(t *testing.T) {
+	_, ctx := newCtx(1)
+	for _, n := range []int64{0, -5} {
+		if _, err := ctx.Malloc(n); err == nil {
+			t.Fatalf("Malloc(%d) succeeded", n)
+		}
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	_, ctx := newCtx(1)
+	p, _ := ctx.Malloc(512)
+	if err := ctx.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Free(p); err == nil {
+		t.Fatal("double free succeeded")
+	}
+}
+
+func TestEventTimesKernel(t *testing.T) {
+	eng, ctx := newCtx(1)
+	var elapsed sim.Time
+	eng.Spawn("host", func(p *sim.Proc) {
+		s := ctx.NewStream()
+		start, end := ctx.NewEvent(), ctx.NewEvent()
+		start.Record(p, s)
+		s.Launch(p, gpu.LaunchSpec{Name: "k", GridDim: 1, BlockThreads: 32,
+			Fn: func(c *gpu.Ctx) { c.Compute(10000) }})
+		end.Record(p, s)
+		end.Synchronize(p)
+		if !start.Fired() || !end.Fired() {
+			t.Error("events did not fire")
+		}
+		elapsed = ElapsedTime(start, end)
+	})
+	eng.Run()
+	// The kernel's 10000 compute cycles plus launch overhead.
+	if elapsed < 10000 || elapsed > 30000 {
+		t.Fatalf("ElapsedTime = %v, want ~10000 + overheads", elapsed)
+	}
+}
+
+func TestEventSynchronizeUnrecorded(t *testing.T) {
+	eng, ctx := newCtx(1)
+	eng.Spawn("host", func(p *sim.Proc) {
+		e := ctx.NewEvent()
+		e.Synchronize(p) // must not block
+		if eng.Now() != 0 {
+			t.Errorf("Synchronize on unrecorded event advanced time")
+		}
+	})
+	eng.Run()
+}
+
+func TestEventOrderingAcrossCommands(t *testing.T) {
+	eng, ctx := newCtx(1)
+	eng.Spawn("host", func(p *sim.Proc) {
+		s := ctx.NewStream()
+		e := ctx.NewEvent()
+		s.MemcpyH2D(p, 1<<20, nil) // ~95 us on the bus
+		e.Record(p, s)
+		e.Synchronize(p)
+		if eng.Now() < ctx.Bus.MinTransferTime(1<<20) {
+			t.Fatalf("event fired at %v, before the preceding copy could finish", eng.Now())
+		}
+	})
+	eng.Run()
+}

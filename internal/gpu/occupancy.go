@@ -1,0 +1,63 @@
+package gpu
+
+// Occupancy holds the static occupancy analysis for a launch spec — the
+// arithmetic of §2 of the paper.
+type Occupancy struct {
+	TBsPerSMM   int     // resident threadblocks per SMM
+	WarpsPerSMM int     // resident warps per SMM
+	Fraction    float64 // resident warps / max warps, in [0,1]
+	LimitedBy   string  // which resource capped the threadblock count
+}
+
+// TheoreticalOccupancy computes how many threadblocks of the given spec fit
+// on one SMM and the resulting occupancy fraction, applying the CUDA
+// occupancy rules: threadblock slots, thread slots, shared memory and
+// registers.
+func TheoreticalOccupancy(cfg Config, spec LaunchSpec) Occupancy {
+	warpsPerTB := spec.WarpsPerTB(cfg)
+	regsPerTB := spec.RegsPerThread * warpsPerTB * cfg.ThreadsPerWarp
+	if regsPerTB == 0 {
+		regsPerTB = 32 * warpsPerTB * cfg.ThreadsPerWarp
+	}
+
+	limit := cfg.MaxTBsPerSMM
+	by := "threadblock slots"
+	if l := cfg.MaxResidentThreads() / spec.BlockThreads; l < limit {
+		limit, by = l, "thread slots"
+	}
+	if spec.SharedPerTB > 0 {
+		if l := cfg.SharedPerSMM / spec.SharedPerTB; l < limit {
+			limit, by = l, "shared memory"
+		}
+	}
+	if l := cfg.RegsPerSMM / regsPerTB; l < limit {
+		limit, by = l, "registers"
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	warps := limit * warpsPerTB
+	if warps > cfg.WarpsPerSMM {
+		warps = cfg.WarpsPerSMM
+	}
+	return Occupancy{
+		TBsPerSMM:   limit,
+		WarpsPerSMM: warps,
+		Fraction:    float64(warps) / float64(cfg.WarpsPerSMM),
+		LimitedBy:   by,
+	}
+}
+
+// NarrowTaskOccupancy reproduces the motivating §2 computation: the device
+// occupancy when `concurrent` narrow tasks of `threads` threads each run at
+// once (e.g. 1 task of 256 threads = 0.52%, 32 tasks = 16.67% on the Titan
+// X).
+func NarrowTaskOccupancy(cfg Config, threads, concurrent int) float64 {
+	warpsPerTask := (threads + cfg.ThreadsPerWarp - 1) / cfg.ThreadsPerWarp
+	resident := warpsPerTask * concurrent
+	max := cfg.TotalWarps()
+	if resident > max {
+		resident = max
+	}
+	return float64(resident) / float64(max)
+}

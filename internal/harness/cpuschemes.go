@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/hostcpu"
+	"repro/internal/workloads"
+)
+
+// CPUSchemes regenerates the paper's §6.2 CPU baseline selection: "we
+// implemented OpenMP with data parallelism, OS-based task scheduling,
+// Python-based thread pooling, and PThreads-based task parallelism.
+// PThreads obtained the best results."
+func CPUSchemes(p Params) *Report {
+	p = p.fill()
+	r := newReport("cpuschemes", fmt.Sprintf("CPU execution schemes (%d tasks; ms; lower is better)", p.Tasks),
+		"Benchmark", "OpenMP", "OS-sched", "Python-pool", "PThreads", "Best")
+	for _, name := range []string{"MB", "CONV", "MM", "3DES"} {
+		b, _ := workloads.ByName(name)
+		mk := func() []hostcpu.Task {
+			defs := b.Make(workloads.Options{Tasks: p.Tasks, Threads: 128, Seed: p.Seed})
+			tasks := make([]hostcpu.Task, len(defs))
+			for i := range defs {
+				tasks[i] = hostcpu.Task{Cycles: defs[i].CPUCycles}
+			}
+			return tasks
+		}
+		results := hostcpu.CompareCPUSchemes(hostcpu.Xeon20(), mk)
+		cells := []string{name}
+		best := results[0]
+		for _, res := range results {
+			cells = append(cells, ms(res.Elapsed))
+			r.set(name+"/"+res.Scheme, res.Elapsed)
+			if res.Elapsed < best.Elapsed {
+				best = res
+			}
+		}
+		cells = append(cells, best.Scheme)
+		r.addRow(cells...)
+	}
+	r.note("paper: PThreads obtained the best results (it is the Fig. 5 CPU baseline)")
+	return r
+}

@@ -1,0 +1,227 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/runners"
+	"repro/internal/workloads"
+)
+
+// Params scales an experiment. The paper uses Tasks=32768 (SLUD ~273K); the
+// default here keeps a full sweep tractable on a laptop while preserving
+// every shape — pass -tasks 32768 to pagodabench for paper scale.
+type Params struct {
+	Tasks int
+	SMMs  int
+	Seed  int64
+}
+
+// DefaultParams returns the laptop-scale defaults.
+func DefaultParams() Params { return Params{Tasks: 2048, SMMs: 24, Seed: 1} }
+
+func (p Params) fill() Params {
+	if p.Tasks <= 0 {
+		p.Tasks = 2048
+	}
+	if p.SMMs <= 0 {
+		p.SMMs = 24
+	}
+	return p
+}
+
+func (p Params) runnerCfg() runners.Config {
+	cfg := runners.DefaultConfig()
+	cfg.SMMs = p.SMMs
+	return cfg
+}
+
+// Experiments lists every regenerable artifact (the paper's tables and
+// figures plus the §6.2 CPU-scheme bake-off).
+func Experiments() []string {
+	return []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table5", "cpuschemes"}
+}
+
+// Run regenerates one experiment by ID.
+func Run(id string, p Params) (*Report, error) {
+	switch id {
+	case "fig5":
+		return Fig5(p), nil
+	case "fig6":
+		return Fig6(p), nil
+	case "fig7":
+		return Fig7(p), nil
+	case "fig8":
+		return Fig8(p), nil
+	case "fig9":
+		return Fig9(p), nil
+	case "fig10":
+		return Fig10(p), nil
+	case "fig11":
+		return Fig11(p), nil
+	case "table3":
+		return Table3(p), nil
+	case "table5":
+		return Table5(p), nil
+	case "cpuschemes":
+		return CPUSchemes(p), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
+	}
+}
+
+// fig5Benchmarks are the Fig. 5 bars, in paper order (SLUD scaled by the
+// same factor the paper uses: 273K/32K ≈ 8.5x the task count).
+var fig5Benchmarks = []string{"MB", "FB", "BF", "CONV", "DCT", "MM", "SLUD", "3DES", "MPE"}
+
+func taskCount(p Params, bench string) int {
+	if bench == "SLUD" {
+		return p.Tasks * 273 / 32
+	}
+	return p.Tasks
+}
+
+// Fig5 regenerates the overall performance comparison: speedup over
+// sequential CPU for PThreads(20-core), CUDA-HyperQ, GeMTC and Pagoda, 128
+// threads per task, copy+compute time.
+func Fig5(p Params) *Report {
+	p = p.fill()
+	r := newReport("fig5", fmt.Sprintf("Overall performance (speedup over 1-core CPU), %d tasks, 128 threads/task", p.Tasks),
+		"Benchmark", "PThreads", "CUDA-HyperQ", "GeMTC", "Pagoda", "Pagoda/HQ", "Pagoda/GeMTC", "Pagoda/PThr")
+
+	var vsPT, vsHQ, vsGM []float64
+	for _, name := range fig5Benchmarks {
+		b, _ := workloads.ByName(name)
+		opt := workloads.Options{Tasks: taskCount(p, name), Threads: 128, Seed: p.Seed, UseShared: b.SupportsShared}
+		cfg := p.runnerCfg()
+
+		seq := runners.RunSequential(b.Make(opt))
+		pt := runners.RunPThreads(b.Make(opt), cfg)
+		pg := runners.RunPagoda(b.Make(opt), cfg)
+
+		hqS, gmS := 0.0, 0.0
+		hqStr, gmStr := "n/a", "n/a"
+		hq := runners.RunHyperQ(b.Make(opt), cfg)
+		hqS = seq.Elapsed / hq.Elapsed
+		hqStr = f2(hqS)
+		if name != "SLUD" { // "We could not implement SLUD in GeMTC"
+			gm := runners.RunGeMTC(b.Make(opt), cfg)
+			gmS = seq.Elapsed / gm.Elapsed
+			gmStr = f2(gmS)
+		}
+
+		ptS := seq.Elapsed / pt.Elapsed
+		pgS := seq.Elapsed / pg.Elapsed
+		r.addRow(name, f2(ptS), hqStr, gmStr, f2(pgS),
+			f2(pgS/hqS), cond(gmS > 0, f2(pgS/gmS), "n/a"), f2(pgS/ptS))
+		r.set(name+"/pthreads", ptS)
+		r.set(name+"/hyperq", hqS)
+		if gmS > 0 {
+			r.set(name+"/gemtc", gmS)
+		}
+		r.set(name+"/pagoda", pgS)
+		vsPT = append(vsPT, pgS/ptS)
+		vsHQ = append(vsHQ, pgS/hqS)
+		if gmS > 0 {
+			vsGM = append(vsGM, pgS/gmS)
+		}
+	}
+	r.set("geomean/pagoda-vs-pthreads", geomean(vsPT))
+	r.set("geomean/pagoda-vs-hyperq", geomean(vsHQ))
+	r.set("geomean/pagoda-vs-gemtc", geomean(vsGM))
+	r.note("geomean Pagoda speedup: %.2fx over PThreads (paper: 5.70x), %.2fx over CUDA-HyperQ (paper: 1.51x), %.2fx over GeMTC (paper: 1.69x)",
+		geomean(vsPT), geomean(vsHQ), geomean(vsGM))
+	return r
+}
+
+// Fig6 regenerates weak scaling with the number of tasks for MB, CONV, DCT,
+// 3DES and MPE (execution time in ms; 128 threads per task).
+func Fig6(p Params) *Report {
+	p = p.fill()
+	counts := []int{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+	var kept []int
+	for _, c := range counts {
+		if c <= p.Tasks*4 {
+			kept = append(kept, c)
+		}
+	}
+	r := newReport("fig6", "Weak scaling with number of tasks (execution time, ms)",
+		append([]string{"Benchmark", "Scheme"}, intsToStrings(kept)...)...)
+	for _, name := range []string{"MB", "CONV", "DCT", "3DES", "MPE"} {
+		b, _ := workloads.ByName(name)
+		cfg := p.runnerCfg()
+		rows := map[string][]string{"CUDA-HyperQ": nil, "GeMTC": nil, "Pagoda": nil}
+		for _, n := range kept {
+			opt := workloads.Options{Tasks: n, Threads: 128, Seed: p.Seed}
+			hq := runners.RunHyperQ(b.Make(opt), cfg)
+			gm := runners.RunGeMTC(b.Make(opt), cfg)
+			pg := runners.RunPagoda(b.Make(opt), cfg)
+			rows["CUDA-HyperQ"] = append(rows["CUDA-HyperQ"], ms(hq.Elapsed))
+			rows["GeMTC"] = append(rows["GeMTC"], ms(gm.Elapsed))
+			rows["Pagoda"] = append(rows["Pagoda"], ms(pg.Elapsed))
+			r.set(fmt.Sprintf("%s/hyperq/%d", name, n), hq.Elapsed)
+			r.set(fmt.Sprintf("%s/gemtc/%d", name, n), gm.Elapsed)
+			r.set(fmt.Sprintf("%s/pagoda/%d", name, n), pg.Elapsed)
+		}
+		for _, scheme := range []string{"CUDA-HyperQ", "GeMTC", "Pagoda"} {
+			r.addRow(append([]string{name, scheme}, rows[scheme]...)...)
+		}
+	}
+	r.note("paper: Pagoda versions run faster than HyperQ and GeMTC beyond 512 tasks")
+	return r
+}
+
+// Fig7 regenerates the compute-time comparison across thread counts per
+// task (no data copies, no shared memory; work per task constant).
+func Fig7(p Params) *Report {
+	p = p.fill()
+	threadCounts := []int{32, 64, 128, 256, 512}
+	r := newReport("fig7", fmt.Sprintf("Compute time vs threads per task (%d tasks; ms)", p.Tasks),
+		append([]string{"Benchmark", "Scheme"}, intsToStrings(threadCounts)...)...)
+	cfg := p.runnerCfg()
+	cfg.CopyData = false
+
+	var vsHQ128, vsGM128 []float64
+	for _, name := range append([]string{}, "MB", "FB", "BF", "CONV", "DCT", "MM", "3DES", "MPE") {
+		b, _ := workloads.ByName(name)
+		rows := map[string][]string{"CUDA-HyperQ": nil, "GeMTC": nil, "Pagoda": nil}
+		for _, th := range threadCounts {
+			opt := workloads.Options{Tasks: p.Tasks, Threads: th, Seed: p.Seed}
+			hq := runners.RunHyperQ(b.Make(opt), cfg)
+			gm := runners.RunGeMTC(b.Make(opt), cfg)
+			pg := runners.RunPagoda(b.Make(opt), cfg)
+			rows["CUDA-HyperQ"] = append(rows["CUDA-HyperQ"], ms(hq.Elapsed))
+			rows["GeMTC"] = append(rows["GeMTC"], ms(gm.Elapsed))
+			rows["Pagoda"] = append(rows["Pagoda"], ms(pg.Elapsed))
+			r.set(fmt.Sprintf("%s/hyperq/%d", name, th), hq.Elapsed)
+			r.set(fmt.Sprintf("%s/gemtc/%d", name, th), gm.Elapsed)
+			r.set(fmt.Sprintf("%s/pagoda/%d", name, th), pg.Elapsed)
+			if th == 128 {
+				vsHQ128 = append(vsHQ128, hq.Elapsed/pg.Elapsed)
+				vsGM128 = append(vsGM128, gm.Elapsed/pg.Elapsed)
+			}
+		}
+		for _, scheme := range []string{"CUDA-HyperQ", "GeMTC", "Pagoda"} {
+			r.addRow(append([]string{name, scheme}, rows[scheme]...)...)
+		}
+	}
+	r.set("geomean128/pagoda-vs-hyperq", geomean(vsHQ128))
+	r.set("geomean128/pagoda-vs-gemtc", geomean(vsGM128))
+	r.note("geomean at 128 threads: Pagoda %.2fx over HyperQ (paper: 2.29x), %.2fx over GeMTC (paper: 2.26x)",
+		geomean(vsHQ128), geomean(vsGM128))
+	return r
+}
+
+func cond(b bool, t, f string) string {
+	if b {
+		return t
+	}
+	return f
+}
+
+func intsToStrings(vs []int) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = fmt.Sprint(v)
+	}
+	return out
+}

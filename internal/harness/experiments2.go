@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/runners"
+	"repro/internal/workloads"
+)
+
+// Fig8 regenerates the threads-per-task x input-size study on MM and CONV:
+// Pagoda's compute-time speedup over CUDA-HyperQ (HyperQ uses 256-thread
+// threadblocks; tasks above 992 threads become multi-threadblock tasks).
+func Fig8(p Params) *Report {
+	p = p.fill()
+	// Fig. 8 reports speedup ratios, which converge at a few hundred tasks;
+	// the sweep's 40 (benchmark, threads, size) cells with up-to-2048-thread
+	// tasks make it by far the most expensive artifact, so cap the per-cell
+	// task count.
+	if p.Tasks > 512 {
+		p.Tasks = 512
+	}
+	inputSizes := []int{16, 32, 64, 128, 256}
+	totalThreads := []int{256, 512, 1024, 2048}
+	r := newReport("fig8", fmt.Sprintf("Pagoda speedup over HyperQ vs input size and threads per task (%d tasks/cell)", p.Tasks),
+		append([]string{"Benchmark", "Threads"}, intsToStrings(inputSizes)...)...)
+	cfg := p.runnerCfg()
+	cfg.CopyData = false
+
+	for _, name := range []string{"MM", "CONV"} {
+		b, _ := workloads.ByName(name)
+		for _, tt := range totalThreads {
+			var cells []string
+			for _, is := range inputSizes {
+				opt := workloads.Options{Tasks: p.Tasks, Seed: p.Seed, InputSize: is}
+				tasks := b.Make(opt)
+				shapeTasks(tasks, tt)
+				pg := runners.RunPagoda(tasks, cfg)
+
+				tasks = b.Make(opt)
+				shapeTasks(tasks, tt)
+				hq := runners.RunHyperQ(tasks, cfg)
+
+				sp := hq.Elapsed / pg.Elapsed
+				cells = append(cells, f2(sp))
+				r.set(fmt.Sprintf("%s/%d/%d", name, tt, is), sp)
+			}
+			r.addRow(append([]string{name, fmt.Sprint(tt)}, cells...)...)
+		}
+	}
+	r.note("paper: Pagoda wins at small thread counts for all input sizes; benefits diminish past 512 threads, with warp-level scheduling winning again at very large thread counts")
+	return r
+}
+
+// shapeTasks rewrites each task's launch geometry to the given total thread
+// count, splitting into 256-thread threadblocks above the single-block limit
+// (as HyperQ does with 256-thread threadblocks in Fig. 8).
+func shapeTasks(tasks []workloads.TaskDef, totalThreads int) {
+	for i := range tasks {
+		if totalThreads <= 256 {
+			tasks[i].Threads = totalThreads
+			tasks[i].Blocks = 1
+		} else {
+			tasks[i].Threads = 256
+			tasks[i].Blocks = totalThreads / 256
+		}
+	}
+}
+
+// Fig9 regenerates the irregular-task comparison against static fusion:
+// pseudo-random input sizes, dynamic 32-256 thread counts for the runtime
+// schemes, fixed 256 for fusion subtasks. Speedup over sequential CPU.
+func Fig9(p Params) *Report {
+	p = p.fill()
+	r := newReport("fig9", fmt.Sprintf("Irregular tasks vs static fusion (speedup over 1-core CPU, %d tasks)", p.Tasks),
+		"Benchmark", "StaticFusion", "PThreads", "CUDA-HyperQ", "Pagoda", "Pagoda/Fusion")
+	cfg := p.runnerCfg()
+
+	var vsFusion []float64
+	for _, name := range []string{"MB", "CONV", "DCT", "FB", "BF", "MM", "3DES", "MPE"} {
+		b, _ := workloads.ByName(name)
+		opt := workloads.Options{Tasks: p.Tasks, Irregular: true, Seed: p.Seed}
+		seq := runners.RunSequential(b.Make(opt))
+		fu := runners.RunFusion(b.Make(opt), cfg)
+		pt := runners.RunPThreads(b.Make(opt), cfg)
+		hq := runners.RunHyperQ(b.Make(opt), cfg)
+		pg := runners.RunPagoda(b.Make(opt), cfg)
+
+		fuS := seq.Elapsed / fu.Elapsed
+		ptS := seq.Elapsed / pt.Elapsed
+		hqS := seq.Elapsed / hq.Elapsed
+		pgS := seq.Elapsed / pg.Elapsed
+		r.addRow(name, f2(fuS), f2(ptS), f2(hqS), f2(pgS), f2(pgS/fuS))
+		r.set(name+"/fusion", fuS)
+		r.set(name+"/pthreads", ptS)
+		r.set(name+"/hyperq", hqS)
+		r.set(name+"/pagoda", pgS)
+		vsFusion = append(vsFusion, pgS/fuS)
+	}
+	r.set("geomean/pagoda-vs-fusion", geomean(vsFusion))
+	r.note("geomean Pagoda over static fusion: %.2fx (paper: 1.79x)", geomean(vsFusion))
+	return r
+}
+
+// Fig10 regenerates the average task latency study: 3DES (irregular) and MM
+// (regular) under static fusion vs Pagoda as the task count grows.
+func Fig10(p Params) *Report {
+	p = p.fill()
+	counts := []int{128, 256, 512, 1024, 2048, 4096, 8192}
+	var kept []int
+	for _, c := range counts {
+		if c <= p.Tasks*4 {
+			kept = append(kept, c)
+		}
+	}
+	r := newReport("fig10", "Average task latency (us) vs number of tasks",
+		append([]string{"Series"}, intsToStrings(kept)...)...)
+	cfg := p.runnerCfg()
+
+	for _, name := range []string{"3DES", "MM"} {
+		b, _ := workloads.ByName(name)
+		var fusedRow, pagodaRow []string
+		for _, n := range kept {
+			opt := workloads.Options{Tasks: n, Threads: 128, Seed: p.Seed}
+			fu := runners.RunFusion(b.Make(opt), cfg)
+			pg := runners.RunPagoda(b.Make(opt), cfg)
+			fusedRow = append(fusedRow, us(fu.AvgLatency))
+			pagodaRow = append(pagodaRow, us(pg.AvgLatency))
+			r.set(fmt.Sprintf("fused-%s/%d", name, n), fu.AvgLatency)
+			r.set(fmt.Sprintf("pagoda-%s/%d", name, n), pg.AvgLatency)
+		}
+		r.addRow(append([]string{"Fused " + name}, fusedRow...)...)
+		r.addRow(append([]string{"Pagoda " + name}, pagodaRow...)...)
+	}
+	r.note("paper: fused latency grows with task count; Pagoda latency stays flat")
+	return r
+}
+
+// Fig11 regenerates the continuous-spawning and pipelining ablation: GeMTC
+// vs Pagoda-Batching (concurrent scheduling, batched spawning) vs Pagoda.
+// Bars are speedups over GeMTC.
+func Fig11(p Params) *Report {
+	p = p.fill()
+	r := newReport("fig11", fmt.Sprintf("Continuous spawning + pipelining ablation (speedup over GeMTC, %d tasks, 128 thr)", p.Tasks),
+		"Benchmark", "GeMTC", "Pagoda-Batching", "Pagoda")
+	for _, name := range []string{"MB", "CONV", "FB", "BF", "3DES", "DCT", "MM", "MPE"} {
+		b, _ := workloads.ByName(name)
+		opt := workloads.Options{Tasks: p.Tasks, Threads: 128, Seed: p.Seed}
+		cfg := p.runnerCfg()
+		gm := runners.RunGeMTC(b.Make(opt), cfg)
+		cfgB := cfg
+		cfgB.PagodaBatching = true
+		pb := runners.RunPagoda(b.Make(opt), cfgB)
+		pg := runners.RunPagoda(b.Make(opt), cfg)
+
+		r.addRow(name, "1.00", f2(gm.Elapsed/pb.Elapsed), f2(gm.Elapsed/pg.Elapsed))
+		r.set(name+"/batching", gm.Elapsed/pb.Elapsed)
+		r.set(name+"/pagoda", gm.Elapsed/pg.Elapsed)
+	}
+	r.note("Pagoda-Batching isolates concurrent task scheduling; the Pagoda-vs-Batching gap is the benefit of continuous, pipelined spawning")
+	return r
+}
+
+// Table3 regenerates the workload-characteristics table: the share of
+// CUDA-HyperQ execution time spent in data copies vs compute.
+func Table3(p Params) *Report {
+	p = p.fill()
+	r := newReport("table3", fmt.Sprintf("Workload characteristics under CUDA-HyperQ (%d tasks)", p.Tasks),
+		"Benchmark", "%Copy", "%Compute", "Paper %Copy")
+	paperCopy := map[string]int{"MB": 24, "FB": 35, "BF": 13, "CONV": 30, "DCT": 81, "MM": 51, "SLUD": 3, "3DES": 74}
+	cfg := p.runnerCfg()
+	for _, name := range []string{"MB", "FB", "BF", "CONV", "DCT", "MM", "SLUD", "3DES"} {
+		b, _ := workloads.ByName(name)
+		n := p.Tasks
+		if name == "SLUD" {
+			n = p.Tasks // keep SLUD at base scale for this table
+		}
+		opt := workloads.Options{Tasks: n, Threads: 128, Seed: p.Seed}
+		with := runners.RunHyperQ(b.Make(opt), cfg)
+		cfgNC := cfg
+		cfgNC.CopyData = false
+		without := runners.RunHyperQ(b.Make(opt), cfgNC)
+		copyFrac := 1 - without.Elapsed/with.Elapsed
+		if copyFrac < 0 {
+			copyFrac = 0
+		}
+		r.addRow(name, fmt.Sprintf("%.0f", copyFrac*100), fmt.Sprintf("%.0f", (1-copyFrac)*100),
+			fmt.Sprint(paperCopy[name]))
+		r.set(name+"/copyfrac", copyFrac)
+	}
+	return r
+}
+
+// Table5 regenerates the shared-memory analysis: Pagoda with and without
+// software-managed shared memory on DCT (64 threads) and MM (256 threads),
+// compute time only, against HyperQ using shared memory.
+func Table5(p Params) *Report {
+	p = p.fill()
+	r := newReport("table5", fmt.Sprintf("Pagoda shared-memory management (%d tasks, compute time)", p.Tasks),
+		"Benchmark", "SpeedupWithSM", "OccWithSM", "SpeedupNoSM", "OccNoSM")
+	cfg := p.runnerCfg()
+	cfg.CopyData = false
+	for _, tc := range []struct {
+		name    string
+		threads int
+	}{{"DCT", 64}, {"MM", 256}} {
+		b, _ := workloads.ByName(tc.name)
+		mk := func(useShared bool) []workloads.TaskDef {
+			return b.Make(workloads.Options{Tasks: p.Tasks, Threads: tc.threads, Seed: p.Seed, UseShared: useShared})
+		}
+		hq := runners.RunHyperQ(mk(true), cfg)
+		withSM := runners.RunPagoda(mk(true), cfg)
+		noSM := runners.RunPagoda(mk(false), cfg)
+
+		spWith := hq.Elapsed / withSM.Elapsed
+		spNo := hq.Elapsed / noSM.Elapsed
+		r.addRow(tc.name, f2(spWith), fmt.Sprintf("%.0f%%", withSM.Occupancy*100),
+			f2(spNo), fmt.Sprintf("%.0f%%", noSM.Occupancy*100))
+		r.set(tc.name+"/speedup-sm", spWith)
+		r.set(tc.name+"/speedup-nosm", spNo)
+		r.set(tc.name+"/occ-sm", withSM.Occupancy)
+		r.set(tc.name+"/occ-nosm", noSM.Occupancy)
+	}
+	r.note("paper: DCT 1.35x/25%% occ with SM vs 1.25x/97%% without; MM 1.51x/97%% vs 1.20x/97%%")
+	return r
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// WriteCSV renders the report as CSV (header row first).
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonReport is the machine-readable schema.
+type jsonReport struct {
+	ID     string             `json:"id"`
+	Title  string             `json:"title"`
+	Header []string           `json:"header"`
+	Rows   [][]string         `json:"rows"`
+	Notes  []string           `json:"notes,omitempty"`
+	Values map[string]float64 `json:"values"`
+	Keys   []string           `json:"keys"` // sorted, for stable diffs
+}
+
+// WriteJSON renders the report, including the raw recorded values, as JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	keys := make([]string, 0, len(r.Values))
+	for k := range r.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{
+		ID:     r.ID,
+		Title:  r.Title,
+		Header: r.Header,
+		Rows:   r.Rows,
+		Notes:  r.Notes,
+		Values: r.Values,
+		Keys:   keys,
+	})
+}

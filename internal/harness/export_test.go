@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"testing"
+)
+
+func sampleReport() *Report {
+	r := newReport("figX", "Sample", "Benchmark", "Speedup")
+	r.addRow("MB", "1.50")
+	r.addRow("MM", "1.10")
+	r.note("a note")
+	r.set("MB/speedup", 1.5)
+	r.set("MM/speedup", 1.1)
+	return r
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("csv rows = %d, want header + 2", len(recs))
+	}
+	if recs[0][0] != "Benchmark" || recs[1][0] != "MB" || recs[2][1] != "1.10" {
+		t.Fatalf("csv content wrong: %v", recs)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID     string             `json:"id"`
+		Rows   [][]string         `json:"rows"`
+		Values map[string]float64 `json:"values"`
+		Keys   []string           `json:"keys"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "figX" || len(got.Rows) != 2 {
+		t.Fatalf("json = %+v", got)
+	}
+	if got.Values["MB/speedup"] != 1.5 {
+		t.Fatalf("values = %v", got.Values)
+	}
+	if len(got.Keys) != 2 || got.Keys[0] != "MB/speedup" {
+		t.Fatalf("keys not sorted: %v", got.Keys)
+	}
+}

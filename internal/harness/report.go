@@ -1,0 +1,100 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§6): it assembles workloads, runs them under each execution
+// scheme via internal/runners, and prints the same rows/series the paper
+// reports. See DESIGN.md §3 for the experiment index.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID     string // "fig5", "table5", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+
+	// Values holds machine-readable series keyed "row/col" for tests and
+	// EXPERIMENTS.md generation.
+	Values map[string]float64
+}
+
+func newReport(id, title string, header ...string) *Report {
+	return &Report{ID: id, Title: title, Header: header, Values: map[string]float64{}}
+}
+
+func (r *Report) addRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+func (r *Report) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) set(key string, v float64) { r.Values[key] = v }
+
+// Get returns a recorded value (0 when missing).
+func (r *Report) Get(key string) float64 { return r.Values[key] }
+
+// Fprint renders the report as an aligned text table.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", strings.ToUpper(r.ID), r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s  ", widths[i], c)
+			} else {
+				fmt.Fprint(w, c, "  ")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// geomean returns the geometric mean of positive values.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func ms(cycles float64) string { return fmt.Sprintf("%.2f", cycles/1e6) }
+
+func us(cycles float64) string { return fmt.Sprintf("%.1f", cycles/1e3) }

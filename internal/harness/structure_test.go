@@ -1,0 +1,145 @@
+package harness
+
+import "testing"
+
+// tinyParams makes each generator cheap enough to exercise structurally
+// (rows present, values recorded); shape assertions live in harness_test.go
+// at saturating scales.
+func tinyParams() Params { return Params{Tasks: 48, SMMs: 4, Seed: 1} }
+
+func TestFig6Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep")
+	}
+	r := Fig6(tinyParams())
+	// 5 benchmarks x 3 schemes.
+	if len(r.Rows) != 15 {
+		t.Fatalf("fig6 rows = %d, want 15", len(r.Rows))
+	}
+	for _, key := range []string{"MB/pagoda/64", "DCT/hyperq/64", "MPE/gemtc/64"} {
+		if r.Get(key) <= 0 {
+			t.Errorf("fig6 missing series point %s", key)
+		}
+	}
+}
+
+func TestFig7Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep")
+	}
+	r := Fig7(tinyParams())
+	if len(r.Rows) != 8*3 {
+		t.Fatalf("fig7 rows = %d, want 24", len(r.Rows))
+	}
+	if r.Get("geomean128/pagoda-vs-hyperq") <= 0 {
+		t.Error("fig7 geomean not recorded")
+	}
+	// Work per task constant across thread counts: times comparable (same
+	// order of magnitude) between 32 and 512 threads for a regular load.
+	lo, hi := r.Get("CONV/pagoda/32"), r.Get("CONV/pagoda/512")
+	if lo <= 0 || hi <= 0 {
+		t.Fatalf("fig7 CONV series missing: %v %v", lo, hi)
+	}
+	if lo > hi*50 || hi > lo*50 {
+		t.Errorf("fig7 CONV thread sweep wildly inconsistent: 32thr=%v 512thr=%v", lo, hi)
+	}
+}
+
+func TestFig8Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep")
+	}
+	r := Fig8(tinyParams())
+	// MM and CONV x 4 thread counts.
+	if len(r.Rows) != 8 {
+		t.Fatalf("fig8 rows = %d, want 8", len(r.Rows))
+	}
+	for _, key := range []string{"MM/256/16", "CONV/2048/256"} {
+		if r.Get(key) <= 0 {
+			t.Errorf("fig8 missing point %s", key)
+		}
+	}
+}
+
+func TestFig9Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep")
+	}
+	r := Fig9(tinyParams())
+	if len(r.Rows) != 8 {
+		t.Fatalf("fig9 rows = %d, want 8", len(r.Rows))
+	}
+	if r.Get("geomean/pagoda-vs-fusion") <= 0 {
+		t.Error("fig9 geomean not recorded")
+	}
+	for _, row := range r.Rows {
+		name := row[0]
+		for _, scheme := range []string{"fusion", "pthreads", "hyperq", "pagoda"} {
+			if r.Get(name+"/"+scheme) <= 0 {
+				t.Errorf("fig9 %s/%s missing", name, scheme)
+			}
+		}
+	}
+}
+
+func TestTable3Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep")
+	}
+	r := Table3(tinyParams())
+	if len(r.Rows) != 8 {
+		t.Fatalf("table3 rows = %d, want 8", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		name := row[0]
+		f := r.Get(name + "/copyfrac")
+		if f < 0 || f > 1 {
+			t.Errorf("table3 %s copy fraction out of range: %v", name, f)
+		}
+	}
+	// Directional check at any scale: DCT is the most copy-bound workload,
+	// SLUD and MB the least (Table 3: 81% vs 3%/24%).
+	if r.Get("DCT/copyfrac") <= r.Get("SLUD/copyfrac") {
+		t.Errorf("table3: DCT copy share (%v) should exceed SLUD's (%v)",
+			r.Get("DCT/copyfrac"), r.Get("SLUD/copyfrac"))
+	}
+	if r.Get("DCT/copyfrac") <= r.Get("MB/copyfrac") {
+		t.Errorf("table3: DCT copy share (%v) should exceed MB's (%v)",
+			r.Get("DCT/copyfrac"), r.Get("MB/copyfrac"))
+	}
+}
+
+func TestCPUSchemesStructure(t *testing.T) {
+	// At a few dozen tasks OpenMP's fork-join can tie PThreads (no pool-tail
+	// imbalance), so the winner assertion lives in hostcpu's bake-off test
+	// at paper-like task counts; here we only check structure.
+	p := tinyParams()
+	p.Tasks = 1024
+	r := CPUSchemes(p)
+	if len(r.Rows) != 4 {
+		t.Fatalf("cpuschemes rows = %d, want 4", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		name := row[0]
+		for _, scheme := range []string{"OpenMP", "OS-sched", "Python-pool", "PThreads"} {
+			if r.Get(name+"/"+scheme) <= 0 {
+				t.Errorf("cpuschemes %s/%s missing", name, scheme)
+			}
+		}
+		if row[len(row)-1] != "PThreads" {
+			t.Errorf("%s: best scheme = %s, want PThreads", name, row[len(row)-1])
+		}
+	}
+}
+
+func TestRunDispatchesAllIDs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep")
+	}
+	for _, id := range []string{"cpuschemes"} { // cheap one through Run()
+		rep, err := Run(id, tinyParams())
+		if err != nil || rep == nil || rep.ID != id {
+			t.Fatalf("Run(%s) = %v, %v", id, rep, err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package pcie models the PCI Express link between host and device: a fixed
+// per-transaction latency plus a shared-bandwidth pipe per direction.
+//
+// Two properties matter to the Pagoda runtime and are preserved here:
+//
+//  1. Transactions are expensive (microseconds), so fine-grained CPU-GPU
+//     handshaking dominates narrow-task runtimes that do it per task.
+//  2. There is no cross-transaction ordering or atomicity guarantee; only
+//     the CUDA stream layer above provides FIFO completion per stream.
+//
+// Bandwidth is shared among in-flight transfers in the same direction
+// (processor sharing), so bulk aggregated copies achieve better effective
+// bandwidth than many small ones — the property behind the TaskTable's lazy
+// aggregate updates (§4.2).
+package pcie
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Dir is a transfer direction.
+type Dir int
+
+const (
+	HostToDevice Dir = iota
+	DeviceToHost
+)
+
+func (d Dir) String() string {
+	if d == HostToDevice {
+		return "H2D"
+	}
+	return "D2H"
+}
+
+// Config describes the link. Defaults model PCIe 3.0 x16 on the paper's
+// testbed: ~12 GB/s effective per direction, ~8 µs end-to-end transaction
+// latency. Times are in GPU cycles (1 cycle = 1 ns).
+type Config struct {
+	BytesPerCycle float64 // effective bandwidth per direction (12 B/cycle = 12 GB/s)
+	Latency       sim.Time
+}
+
+// Default returns the paper-testbed link model.
+func Default() Config {
+	return Config{BytesPerCycle: 12, Latency: 8000}
+}
+
+// Bus is the simulated link. Each direction has an independent
+// bandwidth-shared pipe (PCIe is full duplex).
+type Bus struct {
+	eng  *sim.Engine
+	cfg  Config
+	pipe [2]*pipe
+
+	// Transfers and BytesMoved count completed transactions (diagnostics and
+	// handshake accounting in experiments).
+	Transfers  [2]int
+	BytesMoved [2]int64
+}
+
+// pipe is a processor-sharing bandwidth resource: n concurrent transfers
+// each progress at bandwidth/n.
+type pipe struct {
+	eng   *sim.Engine
+	rate  float64 // bytes per cycle when alone
+	reqs  []*xfer
+	last  sim.Time
+	timer *sim.Timer
+}
+
+type xfer struct {
+	remaining float64 // bytes
+	proc      *sim.Proc
+}
+
+func newPipe(eng *sim.Engine, rate float64) *pipe {
+	p := &pipe{eng: eng, rate: rate, last: eng.Now()}
+	p.timer = sim.NewTimer(eng, p.onTimer)
+	return p
+}
+
+func (p *pipe) perFlow() float64 {
+	if len(p.reqs) == 0 {
+		return 0
+	}
+	return p.rate / float64(len(p.reqs))
+}
+
+func (p *pipe) settle() {
+	now := p.eng.Now()
+	dt := now - p.last
+	if dt > 0 {
+		r := p.perFlow()
+		for _, q := range p.reqs {
+			q.remaining -= dt * r
+		}
+	}
+	p.last = now
+}
+
+func (p *pipe) rearm() {
+	if len(p.reqs) == 0 {
+		p.timer.Stop()
+		return
+	}
+	minRem := math.Inf(1)
+	for _, q := range p.reqs {
+		if q.remaining < minRem {
+			minRem = q.remaining
+		}
+	}
+	if minRem < 0 {
+		minRem = 0
+	}
+	p.timer.Reset(minRem / p.perFlow())
+}
+
+func (p *pipe) onTimer() {
+	p.settle()
+	kept := p.reqs[:0]
+	for _, q := range p.reqs {
+		if q.remaining <= 1e-6 {
+			q.proc.Wakeup()
+		} else {
+			kept = append(kept, q)
+		}
+	}
+	p.reqs = kept
+	p.rearm()
+}
+
+func (p *pipe) transfer(proc *sim.Proc, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	p.settle()
+	p.reqs = append(p.reqs, &xfer{remaining: float64(bytes), proc: proc})
+	p.rearm()
+	proc.Block()
+}
+
+// New creates a bus on the engine.
+func New(eng *sim.Engine, cfg Config) *Bus {
+	if cfg.BytesPerCycle <= 0 {
+		panic("pcie: non-positive bandwidth")
+	}
+	return &Bus{
+		eng:  eng,
+		cfg:  cfg,
+		pipe: [2]*pipe{newPipe(eng, cfg.BytesPerCycle), newPipe(eng, cfg.BytesPerCycle)},
+	}
+}
+
+// Config returns the link parameters.
+func (b *Bus) Config() Config { return b.cfg }
+
+// Transfer moves `bytes` in direction d, blocking the calling process for
+// the transaction latency plus bandwidth-shared transfer time.
+func (b *Bus) Transfer(p *sim.Proc, d Dir, bytes int) {
+	if bytes < 0 {
+		panic("pcie: negative transfer size")
+	}
+	p.Sleep(b.cfg.Latency)
+	b.pipe[d].transfer(p, bytes)
+	b.Transfers[d]++
+	b.BytesMoved[d] += int64(bytes)
+}
+
+// TransferAsync starts a transfer and invokes onDone (on the event loop)
+// when it completes, without blocking the caller.
+func (b *Bus) TransferAsync(d Dir, bytes int, onDone func()) {
+	b.eng.Spawn("pcie-xfer", func(p *sim.Proc) {
+		b.Transfer(p, d, bytes)
+		if onDone != nil {
+			onDone()
+		}
+	})
+}
+
+// MinTransferTime returns the uncontended time to move `bytes` (latency +
+// bytes/bandwidth) — useful as an analytic lower bound in tests.
+func (b *Bus) MinTransferTime(bytes int) sim.Time {
+	return b.cfg.Latency + float64(bytes)/b.cfg.BytesPerCycle
+}

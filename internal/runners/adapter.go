@@ -1,0 +1,75 @@
+package runners
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/workloads"
+)
+
+// warpAdapter adapts a raw gpu.Ctx (HyperQ per-task kernels, GeMTC
+// SuperKernel workers, fused kernels) to the workloads.DeviceCtx interface.
+// The adapter pins the task's logical geometry, which may differ from the
+// physical launch (e.g. a fused kernel where each physical threadblock is
+// one subtask).
+type warpAdapter struct {
+	g *gpu.Ctx
+
+	threads  int // logical threads per task threadblock
+	blocks   int // logical threadblocks in the task
+	blockIdx int // logical block this warp serves
+	warpInBl int // logical warp index within the block
+	args     any
+
+	shared []byte
+	bar    *gpu.Barrier // nil: use the physical block barrier
+}
+
+var _ workloads.DeviceCtx = (*warpAdapter)(nil)
+
+func (w *warpAdapter) Threads() int     { return w.threads }
+func (w *warpAdapter) Blocks() int      { return w.blocks }
+func (w *warpAdapter) BlockIdx() int    { return w.blockIdx }
+func (w *warpAdapter) WarpInBlock() int { return w.warpInBl }
+func (w *warpAdapter) Args() any        { return w.args }
+
+func (w *warpAdapter) activeLanes() int {
+	rem := w.threads - w.warpInBl*32
+	if rem >= 32 {
+		return 32
+	}
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+func (w *warpAdapter) ForEachLane(fn func(tid int)) {
+	base := w.warpInBl * 32
+	for l := 0; l < w.activeLanes(); l++ {
+		fn(base + l)
+	}
+}
+
+func (w *warpAdapter) Compute(c float64) { w.g.Compute(c) }
+func (w *warpAdapter) GlobalRead(n int)  { w.g.GlobalRead(n) }
+func (w *warpAdapter) GlobalWrite(n int) { w.g.GlobalWrite(n) }
+func (w *warpAdapter) SharedRead(n int)  { w.g.SharedRead(n) }
+func (w *warpAdapter) SharedWrite(n int) { w.g.SharedWrite(n) }
+
+func (w *warpAdapter) SyncBlock() {
+	if w.bar != nil {
+		w.g.NamedBarrier(w.bar)
+		return
+	}
+	w.g.SyncBlock()
+}
+
+func (w *warpAdapter) HasShared() bool { return len(w.shared) > 0 }
+func (w *warpAdapter) Shared() []byte {
+	if len(w.shared) == 0 {
+		panic("runners: Shared() on a task without shared memory")
+	}
+	return w.shared
+}
+
+// taskWarps returns the physical warp count for a task's threadblock.
+func taskWarps(threads int) int { return (threads + 31) / 32 }

@@ -1,0 +1,49 @@
+package runners
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestFig6Crossover reproduces §6.2's weak-scaling observation: "For low
+// task counts, none of the schemes occupy the entire GPU, and hence HyperQ
+// and GeMTC perform fairly well. However, once the task count grows beyond
+// 512, Pagoda obtains higher performance" — i.e. Pagoda's advantage over
+// HyperQ grows with the task count.
+func TestFig6Crossover(t *testing.T) {
+	b, _ := workloads.ByName("MB")
+	cfg := DefaultConfig()
+	ratio := func(n int) float64 {
+		pg := RunPagoda(b.Make(workloads.Options{Tasks: n, Threads: 128, Seed: 1}), cfg)
+		hq := RunHyperQ(b.Make(workloads.Options{Tasks: n, Threads: 128, Seed: 1}), cfg)
+		return hq.Elapsed / pg.Elapsed
+	}
+	small := ratio(128)
+	large := ratio(2048)
+	if large <= small {
+		t.Fatalf("Pagoda advantage should grow with task count: 128 tasks %.2fx, 2048 tasks %.2fx", small, large)
+	}
+	if large <= 1.0 {
+		t.Fatalf("Pagoda should win beyond 512 tasks: ratio at 2048 = %.2fx", large)
+	}
+}
+
+// TestFig7ThreadCountTrend reproduces the §6.3 observation: "The performance
+// benefits of Pagoda over HyperQ decrease with thread count because the
+// underutilization becomes less severe."
+func TestFig7ThreadCountTrend(t *testing.T) {
+	b, _ := workloads.ByName("CONV")
+	cfg := DefaultConfig()
+	cfg.CopyData = false
+	ratio := func(threads int) float64 {
+		pg := RunPagoda(b.Make(workloads.Options{Tasks: 1024, Threads: threads, Seed: 1}), cfg)
+		hq := RunHyperQ(b.Make(workloads.Options{Tasks: 1024, Threads: threads, Seed: 1}), cfg)
+		return hq.Elapsed / pg.Elapsed
+	}
+	at32 := ratio(32)
+	at512 := ratio(512)
+	if at32 <= at512*0.95 {
+		t.Fatalf("Pagoda benefit should shrink with threads/task: 32thr %.2fx vs 512thr %.2fx", at32, at512)
+	}
+}

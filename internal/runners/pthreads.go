@@ -1,0 +1,70 @@
+package runners
+
+import (
+	"repro/internal/hostcpu"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// RunPThreads executes the task stream on the simulated 20-core CPU with a
+// PThreads-style worker pool — the paper's best-performing CPU scheme
+// ("PThreads obtained the best results"). No PCIe copies are involved.
+func RunPThreads(tasks []workloads.TaskDef, cfg Config) Result {
+	eng := sim.New()
+	hcfg := hostcpu.Xeon20()
+	if cfg.CPUCores > 0 {
+		hcfg.Cores = cfg.CPUCores
+	}
+	pool := hostcpu.NewPool(eng, hcfg)
+
+	var latSum float64
+	var latMax sim.Time
+	var endTime sim.Time
+	eng.Spawn("pt-host", func(p *sim.Proc) {
+		for i := range tasks {
+			td := &tasks[i]
+			pool.Submit(p, hostcpu.Task{
+				Cycles: td.CPUCycles,
+				Fn:     td.CPURun,
+			})
+		}
+		pool.WaitAll(p)
+		endTime = eng.Now()
+		// Mean latency under a work-conserving pool is approximated as half
+		// the makespan; the paper's latency figure (Fig. 10) compares only
+		// Pagoda and static fusion, so this bound is never plotted.
+		for range tasks {
+			latSum += endTime / 2
+			if endTime > latMax {
+				latMax = endTime
+			}
+		}
+	})
+	eng.Run()
+
+	r := Result{Elapsed: endTime, MaxLatency: latMax, Tasks: pool.TasksRun}
+	if len(tasks) > 0 {
+		r.AvgLatency = latSum / float64(len(tasks))
+	}
+	return r
+}
+
+// RunSequential executes the tasks one after another on a single core with
+// no pool overhead — the base for the paper's speedup axis.
+func RunSequential(tasks []workloads.TaskDef) Result {
+	var total float64
+	cfg := hostcpu.Xeon20()
+	for i := range tasks {
+		if tasks[i].CPURun != nil {
+			tasks[i].CPURun()
+		}
+		total += tasks[i].CPUCycles
+	}
+	elapsed := total / cfg.FreqGHz
+	return Result{
+		Elapsed:    elapsed,
+		AvgLatency: elapsed / 2,
+		MaxLatency: elapsed,
+		Tasks:      len(tasks),
+	}
+}

@@ -1,0 +1,105 @@
+// Package runners executes a stream of narrow tasks under each of the
+// paper's five execution schemes and reports comparable timing:
+//
+//   - Pagoda          — the core runtime (continuous spawning, warp-level
+//     scheduling); optionally its Fig. 11 "Pagoda-Batching" ablation.
+//   - CUDA-HyperQ     — one kernel per task over 32 streams, bounded by the
+//     32-connection HyperQ limit.
+//   - GeMTC           — a persistent SuperKernel with a single FIFO task
+//     queue and batch-based launching (Krieder et al., HPDC'14).
+//   - Static fusion   — all tasks fused into one monolithic kernel with
+//     uniform per-subtask resources (§6.3).
+//   - PThreads        — a 20-core CPU worker pool (plus a sequential mode).
+//
+// Every run builds its own engine/device/bus, so runs are independent and
+// deterministic. Timing covers data copies and compute, as in the paper's
+// Fig. 5 ("the measurement of execution time contains both data copy and
+// compute times"); Config.CopyData=false reproduces the compute-only
+// comparisons of Fig. 7 and Table 5.
+package runners
+
+import (
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	SMMs     int  // device size (default 24)
+	Spawners int  // host threads feeding tasks (paper: 2)
+	CopyData bool // include per-task input/output PCIe copies
+
+	// GeMTCBatch is the FIFO batch size (tasks per SuperKernel launch).
+	GeMTCBatch int
+	// GeMTCThreads is the SuperKernel worker threadblock width; 0 uses each
+	// task's own thread count (the paper's "modified" GeMTC).
+	GeMTCThreads int
+
+	// FusedThreads is the uniform per-subtask thread count under static
+	// fusion (paper: 256).
+	FusedThreads int
+
+	// PagodaBatching enables the Fig. 11 ablation.
+	PagodaBatching bool
+
+	// CPUCores sizes the PThreads pool (paper: 20).
+	CPUCores int
+}
+
+// DefaultConfig returns the paper's experimental setup.
+func DefaultConfig() Config {
+	return Config{
+		SMMs:         24,
+		Spawners:     2,
+		CopyData:     true,
+		GeMTCBatch:   384, // GeMTC's worker count at 128 threads/TB on 24 SMMs
+		FusedThreads: 256,
+		CPUCores:     20,
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	Elapsed    sim.Time // cycles (1 cycle = 1 ns) from first spawn to all done
+	AvgLatency sim.Time // mean per-task spawn-to-completion latency
+	MaxLatency sim.Time
+	Occupancy  float64 // mean resident-warp occupancy over the run
+	IssueUtil  float64 // fraction of issue slots used
+	Tasks      int
+}
+
+// Seconds converts the elapsed cycles to seconds.
+func (r Result) Seconds() float64 { return r.Elapsed / 1e9 }
+
+// system bundles the per-run simulation stack.
+type system struct {
+	eng *sim.Engine
+	dev *gpu.Device
+	bus *pcie.Bus
+	ctx *cuda.Context
+}
+
+func newSystem(cfg Config) *system {
+	eng := sim.New()
+	gcfg := gpu.TitanX()
+	if cfg.SMMs > 0 {
+		gcfg.NumSMMs = cfg.SMMs
+	}
+	dev := gpu.NewDevice(eng, gcfg)
+	bus := pcie.New(eng, pcie.Default())
+	ctx := cuda.NewContext(eng, dev, bus, cuda.DefaultConfig())
+	return &system{eng: eng, dev: dev, bus: bus, ctx: ctx}
+}
+
+// splitRoundRobin deals tasks to n spawners preserving arrival order within
+// each spawner.
+func splitRoundRobin(tasks []workloads.TaskDef, n int) [][]int {
+	parts := make([][]int, n)
+	for i := range tasks {
+		parts[i%n] = append(parts[i%n], i)
+	}
+	return parts
+}

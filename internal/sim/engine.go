@@ -1,0 +1,160 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock measured in abstract time units (this
+// repository uses GPU cycles, 1 cycle = 1 ns at 1 GHz) and an event queue.
+// Concurrency is expressed with coroutine-style processes (Proc): the engine
+// runs exactly one process at a time and hands the execution baton back and
+// forth over unbuffered channels, so simulations are fully deterministic and
+// free of data races even though every process is a real goroutine.
+//
+// Events scheduled for the same timestamp fire in the order they were
+// scheduled (a monotonically increasing sequence number breaks ties).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is the virtual clock type, in cycles. Fractional cycles arise from the
+// processor-sharing compute model in internal/gpu.
+type Time = float64
+
+// Infinity is a timestamp later than any event the engine will ever fire.
+const Infinity Time = math.MaxFloat64
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// New.
+type Engine struct {
+	now     Time
+	seq     int64
+	queue   eventHeap
+	stopped bool
+	// current is the process currently holding the execution baton, nil when
+	// the engine itself (the event loop) is running.
+	current *Proc
+	// procs counts live processes, for leak diagnostics.
+	procs int
+	// live registers every spawned, unfinished process for BlockedProcs.
+	live map[*Proc]struct{}
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule arranges for fn to run at Now()+delay. A negative delay panics.
+// fn runs on the engine's event loop; it may resume processes but must not
+// block.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute time at, which must not be in
+// the past.
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule in the past: %v < %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Stop makes Run return after the currently executing event completes.
+// Callable from inside event handlers and processes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the final virtual time.
+func (e *Engine) Run() Time { return e.RunUntil(Infinity) }
+
+// RunUntil executes events with timestamps <= deadline, stopping earlier if
+// the queue drains or Stop is called. The clock is left at the time of the
+// last executed event (or at deadline if the deadline was reached with events
+// still pending).
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue.peek()
+		if ev.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events (diagnostics).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// LiveProcs returns the number of spawned processes that have not finished.
+func (e *Engine) LiveProcs() int { return e.procs }
+
+// BlockedProcs returns the names of live processes that have no pending
+// wake-up — the ones parked on a Signal or Block. When Run returns with the
+// queue drained but BlockedProcs is non-empty, those processes are
+// deadlocked; the list is the first thing to print when hunting one.
+func (e *Engine) BlockedProcs() []string {
+	var out []string
+	for p := range e.live {
+		if !p.parked || p.dead {
+			continue
+		}
+		out = append(out, p.name)
+	}
+	sortStrings(out)
+	return out
+}
+
+// sortStrings is a tiny insertion sort (avoids importing sort for one call
+// site on a diagnostics path).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

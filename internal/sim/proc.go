@@ -1,0 +1,124 @@
+package sim
+
+import "fmt"
+
+// Proc is a coroutine-style simulation process. A Proc runs on its own
+// goroutine but only while it holds the engine's execution baton; it yields
+// the baton whenever it blocks on a simulation primitive (Sleep, Wait, ...).
+// Exactly one Proc (or the event loop) runs at any instant, which makes all
+// simulation state single-threaded.
+type Proc struct {
+	eng  *Engine
+	name string
+	wake chan struct{} // engine -> proc: you hold the baton
+	park chan struct{} // proc -> engine: baton returned
+	dead bool
+	// wakeGen guards against double wake-ups: a blocked proc records the
+	// generation it is waiting on, and stale resume events are dropped.
+	wakeGen uint64
+	// armed reports whether some event/signal is due to resume this proc.
+	armed bool
+	// parked reports the proc is blocked with no scheduled wake-up event
+	// (Block/Signal.Wait) — only an explicit Wakeup can resume it.
+	parked bool
+}
+
+// Spawn creates a process executing body and schedules it to start at the
+// current time. The name is used in diagnostics only.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:  e,
+		name: name,
+		wake: make(chan struct{}),
+		park: make(chan struct{}),
+	}
+	e.procs++
+	if e.live == nil {
+		e.live = make(map[*Proc]struct{})
+	}
+	e.live[p] = struct{}{}
+	go func() {
+		<-p.wake // wait for first resume
+		body(p)
+		p.dead = true
+		p.eng.procs--
+		delete(p.eng.live, p)
+		p.park <- struct{}{}
+	}()
+	gen := p.arm()
+	e.Schedule(0, func() { p.resume(gen) })
+	return p
+}
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// arm marks the proc as having a pending wake-up and returns the generation
+// token that the matching resume must present.
+func (p *Proc) arm() uint64 {
+	if p.armed {
+		panic(fmt.Sprintf("sim: proc %q armed twice", p.name))
+	}
+	p.armed = true
+	p.wakeGen++
+	return p.wakeGen
+}
+
+// resume hands the baton to the proc if gen is still current, and blocks the
+// caller (the event loop or another proc's scheduled event) until the proc
+// parks again.
+func (p *Proc) resume(gen uint64) {
+	if p.dead || gen != p.wakeGen || !p.armed {
+		return // stale wake-up
+	}
+	p.armed = false
+	prev := p.eng.current
+	p.eng.current = p
+	p.wake <- struct{}{}
+	<-p.park
+	p.eng.current = prev
+}
+
+// yield returns the baton to the event loop and blocks until resumed. The
+// caller must have armed a wake-up beforehand.
+func (p *Proc) yield() {
+	if !p.armed {
+		panic(fmt.Sprintf("sim: proc %q yielding with no pending wake-up", p.name))
+	}
+	p.park <- struct{}{}
+	<-p.wake
+}
+
+// Sleep blocks the process for d time units. d == 0 yields the baton and
+// resumes after already-queued events at the current time.
+func (p *Proc) Sleep(d Time) {
+	gen := p.arm()
+	p.eng.Schedule(d, func() { p.resume(gen) })
+	p.yield()
+}
+
+// Block parks the process indefinitely until another party calls Wakeup.
+// Prefer Signal for most uses.
+func (p *Proc) Block() {
+	p.arm()
+	p.parked = true
+	p.yield()
+	p.parked = false
+}
+
+// Wakeup resumes a process parked with Block. It must be called from the
+// event loop or another process; the wake-up takes effect via a zero-delay
+// event so ordering stays deterministic.
+func (p *Proc) Wakeup() {
+	if !p.armed || p.dead {
+		return
+	}
+	gen := p.wakeGen
+	p.eng.Schedule(0, func() { p.resume(gen) })
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestClockMonotonicUnderRandomLoad fuzzes the engine with random process
+// graphs and asserts the clock never goes backwards and every proc's wakes
+// are properly ordered.
+func TestClockMonotonicUnderRandomLoad(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		last := Time(0)
+		ok := true
+		observe := func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+		}
+		var sig Signal
+		for i := 0; i < 50; i++ {
+			e.Spawn("p", func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					switch rng.Intn(3) {
+					case 0:
+						p.Sleep(Time(rng.Intn(100)))
+					case 1:
+						sig.Broadcast()
+						p.Sleep(1)
+					case 2:
+						if sig.Waiting() < 5 {
+							// Bounded waiting so the run drains.
+							sig.Broadcast()
+						}
+						p.Sleep(Time(rng.Intn(10)))
+					}
+					observe()
+				}
+			})
+		}
+		e.Run()
+		sig.Broadcast()
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoLostWakeups pairs waiters and wakers at random delays and checks
+// every waiter eventually runs.
+func TestNoLostWakeups(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		const n = 40
+		woken := 0
+		ready := make([]bool, n)
+		var sigs [n]Signal
+		for i := 0; i < n; i++ {
+			i := i
+			e.Spawn("waiter", func(p *Proc) {
+				for !ready[i] {
+					sigs[i].Wait(p)
+				}
+				woken++
+			})
+			e.Spawn("waker", func(p *Proc) {
+				p.Sleep(Time(rng.Intn(500)))
+				ready[i] = true
+				sigs[i].Broadcast()
+			})
+		}
+		e.Run()
+		if woken != n {
+			t.Fatalf("seed %d: %d of %d waiters woke", seed, woken, n)
+		}
+	}
+}
+
+// TestLiveProcsAccounting tracks spawn/finish bookkeeping.
+func TestLiveProcsAccounting(t *testing.T) {
+	e := New()
+	for i := 0; i < 10; i++ {
+		e.Spawn("p", func(p *Proc) { p.Sleep(Time(i)) })
+	}
+	if e.LiveProcs() != 10 {
+		t.Fatalf("LiveProcs = %d before run, want 10", e.LiveProcs())
+	}
+	e.Run()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after drain, want 0", e.LiveProcs())
+	}
+}
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := New()
+	var fired int
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%97), func() { fired++ })
+	}
+	b.ResetTimer()
+	e.Run()
+	if fired != b.N {
+		b.Fatalf("fired %d of %d", fired, b.N)
+	}
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	e := New()
+	e.Spawn("pingpong", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func TestBlockedProcsDiagnostics(t *testing.T) {
+	e := New()
+	var sig Signal
+	e.Spawn("stuck-a", func(p *Proc) { sig.Wait(p) })
+	e.Spawn("stuck-b", func(p *Proc) { sig.Wait(p) })
+	e.Spawn("fine", func(p *Proc) { p.Sleep(5) })
+	e.Run()
+	blocked := e.BlockedProcs()
+	if len(blocked) != 2 || blocked[0] != "stuck-a" || blocked[1] != "stuck-b" {
+		t.Fatalf("BlockedProcs = %v, want [stuck-a stuck-b]", blocked)
+	}
+	// Waking them clears the diagnostics.
+	sig.Broadcast()
+	e.Run()
+	if got := e.BlockedProcs(); len(got) != 0 {
+		t.Fatalf("BlockedProcs after wake = %v, want empty", got)
+	}
+}

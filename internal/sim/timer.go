@@ -1,0 +1,51 @@
+package sim
+
+// Timer is a cancellable, re-armable one-shot timer. Unlike raw Schedule
+// calls, a Timer can be Stopped or re-Reset before it fires; stale firings
+// are suppressed with a generation counter (events in the heap cannot be
+// removed, only invalidated).
+type Timer struct {
+	eng *Engine
+	fn  func()
+	gen uint64
+	at  Time
+	set bool
+}
+
+// NewTimer returns a timer that invokes fn on the engine's event loop when it
+// fires. The timer starts unarmed.
+func NewTimer(e *Engine, fn func()) *Timer {
+	return &Timer{eng: e, fn: fn}
+}
+
+// Reset arms the timer to fire after delay, cancelling any earlier arming.
+func (t *Timer) Reset(delay Time) { t.ResetAt(t.eng.now + delay) }
+
+// ResetAt arms the timer to fire at absolute time at, cancelling any earlier
+// arming.
+func (t *Timer) ResetAt(at Time) {
+	t.gen++
+	t.set = true
+	t.at = at
+	gen := t.gen
+	t.eng.ScheduleAt(at, func() {
+		if gen != t.gen || !t.set {
+			return
+		}
+		t.set = false
+		t.fn()
+	})
+}
+
+// Stop disarms the timer. It is safe to call whether or not the timer is
+// armed.
+func (t *Timer) Stop() {
+	t.gen++
+	t.set = false
+}
+
+// Armed reports whether the timer is set to fire.
+func (t *Timer) Armed() bool { return t.set }
+
+// Deadline returns the absolute fire time; meaningful only when Armed.
+func (t *Timer) Deadline() Time { return t.at }

@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+func TestTimerFires(t *testing.T) {
+	e := New()
+	fired := Time(-1)
+	tm := NewTimer(e, func() { fired = e.Now() })
+	tm.Reset(25)
+	if !tm.Armed() {
+		t.Fatal("timer not armed after Reset")
+	}
+	e.Run()
+	if fired != 25 {
+		t.Fatalf("fired at %v, want 25", fired)
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after firing")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New()
+	fired := false
+	tm := NewTimer(e, func() { fired = true })
+	tm.Reset(10)
+	tm.Stop()
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerResetSupersedes(t *testing.T) {
+	e := New()
+	var fires []Time
+	tm := NewTimer(e, func() { fires = append(fires, e.Now()) })
+	tm.Reset(10)
+	tm.Reset(30) // cancels the 10-cycle arming
+	e.Run()
+	if len(fires) != 1 || fires[0] != 30 {
+		t.Fatalf("fires = %v, want [30]", fires)
+	}
+}
+
+func TestTimerRearmAfterFire(t *testing.T) {
+	e := New()
+	var fires []Time
+	var tm *Timer
+	tm = NewTimer(e, func() {
+		fires = append(fires, e.Now())
+		if len(fires) < 3 {
+			tm.Reset(5)
+		}
+	})
+	tm.Reset(5)
+	e.Run()
+	if len(fires) != 3 || fires[2] != 15 {
+		t.Fatalf("fires = %v, want [5 10 15]", fires)
+	}
+}
+
+func TestTimerDeadline(t *testing.T) {
+	e := New()
+	tm := NewTimer(e, func() {})
+	e.Schedule(7, func() { tm.Reset(13) })
+	e.RunUntil(8)
+	if tm.Deadline() != 20 {
+		t.Fatalf("Deadline = %v, want 20", tm.Deadline())
+	}
+}

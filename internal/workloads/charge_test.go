@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+// countingCtx is a pure mock DeviceCtx that tallies charged costs without a
+// simulator — used to unit-test the cost model itself.
+type countingCtx struct {
+	threads, blocks, blockIdx, warpInBl int
+
+	compute          float64
+	rdBytes, wrBytes int
+	rdOps, wrOps     int
+	shRead, shWrite  int
+	syncs            int
+	shared           []byte
+}
+
+func (c *countingCtx) Threads() int     { return c.threads }
+func (c *countingCtx) Blocks() int      { return c.blocks }
+func (c *countingCtx) BlockIdx() int    { return c.blockIdx }
+func (c *countingCtx) WarpInBlock() int { return c.warpInBl }
+func (c *countingCtx) ForEachLane(fn func(int)) {
+	base := c.warpInBl * 32
+	for l := 0; l < 32 && base+l < c.threads; l++ {
+		fn(base + l)
+	}
+}
+func (c *countingCtx) Compute(v float64) { c.compute += v }
+func (c *countingCtx) GlobalRead(n int)  { c.rdBytes += n; c.rdOps++ }
+func (c *countingCtx) GlobalWrite(n int) { c.wrBytes += n; c.wrOps++ }
+func (c *countingCtx) SharedRead(n int)  { c.shRead += n }
+func (c *countingCtx) SharedWrite(n int) { c.shWrite += n }
+func (c *countingCtx) SyncBlock()        { c.syncs++ }
+func (c *countingCtx) HasShared() bool   { return len(c.shared) > 0 }
+func (c *countingCtx) Shared() []byte    { return c.shared }
+func (c *countingCtx) Args() any         { return nil }
+
+var _ DeviceCtx = (*countingCtx)(nil)
+
+// runAllWarps invokes the kernel for every warp of a 1-block task and
+// returns the summed counters.
+func runAllWarps(kernel func(DeviceCtx), threads int) *countingCtx {
+	total := &countingCtx{threads: threads, blocks: 1}
+	warps := ceilDiv(threads, 32)
+	for w := 0; w < warps; w++ {
+		c := &countingCtx{threads: threads, blocks: 1, warpInBl: w}
+		kernel(c)
+		total.compute += c.compute
+		total.rdBytes += c.rdBytes
+		total.wrBytes += c.wrBytes
+		total.rdOps += c.rdOps
+		total.wrOps += c.wrOps
+		total.syncs += c.syncs
+	}
+	return total
+}
+
+func TestChargeWarpTotalComputeInvariant(t *testing.T) {
+	// Total issue cycles charged across all warps is threads-invariant:
+	// "the amount of work per task remains constant in all thread
+	// configurations" (Fig. 7).
+	const units = 16384
+	const cyc = 4.0
+	ref := -1.0
+	for _, threads := range []int{32, 64, 128, 256, 512} {
+		total := runAllWarps(func(c DeviceCtx) {
+			chargeWarp(c, units, cyc, 0, 0, 1)
+		}, threads)
+		want := float64(units) * cyc / 32 // total lane-cycles / lanes per warp
+		if math.Abs(total.compute-want)/want > 0.05 {
+			t.Fatalf("threads=%d: total compute %v, want ~%v", threads, total.compute, want)
+		}
+		if ref < 0 {
+			ref = total.compute
+		} else if math.Abs(total.compute-ref)/ref > 0.05 {
+			t.Fatalf("threads=%d: compute %v drifted from %v", threads, total.compute, ref)
+		}
+	}
+}
+
+func TestChargeWarpSegmentation(t *testing.T) {
+	// Long compute must be split into ~segmentCycles chunks with a memory
+	// access per chunk (the latency-hiding granularity), capped at
+	// maxSegments.
+	c := &countingCtx{threads: 32, blocks: 1}
+	chargeWarp(c, 32*4000, 1.0, 0, 0, 1) // 4000 cycles per thread
+	wantChunks := 4000 / segmentCycles
+	if c.rdOps != wantChunks {
+		t.Fatalf("rdOps = %d, want %d (one access per %d-cycle segment)", c.rdOps, wantChunks, segmentCycles)
+	}
+	// Cap check.
+	c2 := &countingCtx{threads: 32, blocks: 1}
+	chargeWarp(c2, 32*1_000_000, 1.0, 0, 0, 1)
+	if c2.rdOps != maxSegments {
+		t.Fatalf("rdOps = %d, want cap %d", c2.rdOps, maxSegments)
+	}
+}
+
+func TestChargeWarpTrafficSplitAcrossWarps(t *testing.T) {
+	const rd, wr = 64 * 1024, 16 * 1024
+	total := runAllWarps(func(c DeviceCtx) {
+		chargeWarp(c, 32*100, 1.0, rd, wr, 4)
+	}, 128)
+	// All warps together must account for roughly the task's traffic.
+	if total.rdBytes < rd*9/10 || total.rdBytes > rd*11/10 {
+		t.Fatalf("read traffic %d, want ~%d", total.rdBytes, rd)
+	}
+	if total.wrBytes < wr*9/10 || total.wrBytes > wr*11/10 {
+		t.Fatalf("write traffic %d, want ~%d", total.wrBytes, wr)
+	}
+}
+
+func TestLaneUnitsPartition(t *testing.T) {
+	// Every unit is owned by exactly one (block, tid) pair.
+	for _, tc := range []struct{ units, threads, blocks int }{
+		{1000, 64, 1}, {1000, 128, 2}, {7, 32, 1}, {4096, 96, 3},
+	} {
+		owned := make([]int, tc.units)
+		for b := 0; b < tc.blocks; b++ {
+			c := &countingCtx{threads: tc.threads, blocks: tc.blocks, blockIdx: b}
+			for tid := 0; tid < tc.threads; tid++ {
+				lo, hi := laneUnits(c, tc.units, tid)
+				for u := lo; u < hi; u++ {
+					owned[u]++
+				}
+			}
+		}
+		for u, n := range owned {
+			if n != 1 {
+				t.Fatalf("units=%d threads=%d blocks=%d: unit %d owned %d times",
+					tc.units, tc.threads, tc.blocks, u, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package pagoda
+
+import "testing"
+
+func TestK40ConfigRuns(t *testing.T) {
+	cfg := K40Config()
+	cfg.GPU.NumSMMs = 2
+	sys := New(cfg)
+	ran := 0
+	sys.Run(func(h *Host) {
+		for i := 0; i < 30; i++ {
+			h.Spawn(Task{Threads: 64, SharedMem: 2048, Sync: true,
+				Kernel: func(tc *TaskCtx) {
+					tc.Compute(300)
+					_ = tc.Shared()[0]
+					tc.SyncBlock()
+					if tc.WarpInBlock() == 0 {
+						ran++
+					}
+				}})
+		}
+		h.WaitAll()
+	})
+	if ran != 30 {
+		t.Fatalf("K40 ran %d of 30 tasks", ran)
+	}
+	if sys.Runtime.Cfg.SharedPerMTB != 16*1024 {
+		t.Fatalf("K40 arena = %d, want 16KB", sys.Runtime.Cfg.SharedPerMTB)
+	}
+}
+
+func TestFaultIsolationThroughFacade(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Pagoda.IsolateKernelPanics = true
+	sys := New(cfg)
+	sys.Run(func(h *Host) {
+		h.Spawn(Task{Threads: 32, Kernel: func(tc *TaskCtx) { panic("bad kernel") }})
+		h.Spawn(Task{Threads: 32, Kernel: func(tc *TaskCtx) { tc.Compute(100) }})
+		h.WaitAll()
+	})
+	st := sys.Stats()
+	if st.Failed != 1 || st.Completed != 2 {
+		t.Fatalf("stats = %+v, want 1 failed of 2 retired", st)
+	}
+}
