@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: check test vet race bench-engine
+
+# check is the pre-merge gate: static analysis, race detection on the
+# packages with goroutine handoff (the sim engine and its gpu consumers),
+# and one pass of the engine benchmarks to catch gross perf regressions.
+check: vet race bench-engine
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim/... ./internal/gpu/...
+
+bench-engine:
+	$(GO) test -bench=BenchmarkEngine -benchtime=1x -run='^$$' ./internal/sim/ .

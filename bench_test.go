@@ -105,3 +105,20 @@ func BenchmarkTaskSpawnThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N*512), "tasks")
 }
+
+// BenchmarkEngineFig5Macro is the macro benchmark behind the engine hot-path
+// work: one full fig5 regeneration per iteration, dominated by event-queue
+// churn, timer re-keying and proc switches in internal/sim. Compare against
+// BENCH_sim.json; run with -benchtime=3x or higher for stable numbers.
+func BenchmarkEngineFig5Macro(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := harness.Run("fig5", harness.Params{Tasks: 256, SMMs: 8, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("fig5 produced no rows")
+		}
+	}
+}

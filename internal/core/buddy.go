@@ -24,9 +24,29 @@ type Buddy struct {
 	minBlock int
 	levels   int // tree depth; level 0 is the root
 	marked   []bool
-	pending  []int // nodes marked for deferred deallocation
+	// gen counts allocation-state changes per node (bumped on Alloc and
+	// Free). A pending entry is only honoured if the node's generation still
+	// matches the one captured at MarkForDealloc time, so duplicate marks,
+	// mark-then-explicit-Free, and free-then-realloc races all become benign
+	// stale entries instead of panics in the scheduler warp path.
+	gen     []uint32
+	pending []pendingFree // nodes marked for deferred deallocation
+	// inPending/pendingGen dedup MarkForDealloc calls per (node, generation)
+	// between drains: a mark after the node was freed and reallocated is a new
+	// generation, not a duplicate.
+	inPending  []bool
+	pendingGen []uint32
 	// allocated tracks currently allocated bytes (diagnostics/tests).
 	allocated int
+	// staleDeallocs counts pending entries skipped as stale (diagnostics).
+	staleDeallocs int
+}
+
+// pendingFree is one deferred deallocation: the node plus the allocation
+// generation it belongs to.
+type pendingFree struct {
+	node int
+	gen  uint32
 }
 
 // NewBuddy builds an allocator over an arena of the given size. arena and
@@ -40,7 +60,13 @@ func NewBuddy(arena, minBlock int) *Buddy {
 		levels++
 	}
 	nodes := 1 << (levels + 1) // 1-based array; index 0 unused
-	return &Buddy{arena: arena, minBlock: minBlock, levels: levels, marked: make([]bool, nodes)}
+	return &Buddy{
+		arena: arena, minBlock: minBlock, levels: levels,
+		marked:     make([]bool, nodes),
+		gen:        make([]uint32, nodes),
+		inPending:  make([]bool, nodes),
+		pendingGen: make([]uint32, nodes),
+	}
 }
 
 // ArenaSize returns the managed bytes.
@@ -98,6 +124,7 @@ func (b *Buddy) Alloc(size int) (offset, node int, ok bool) {
 			b.markSubtree(n)
 			b.markAncestors(n)
 			b.allocated += b.nodeSize(lvl)
+			b.gen[n]++
 			return b.nodeOffset(n), n, true
 		}
 	}
@@ -131,6 +158,7 @@ func (b *Buddy) Free(node int) {
 		level++
 	}
 	b.allocated -= b.nodeSize(level)
+	b.gen[node]++
 	b.unmarkSubtree(node)
 	for n := node; n > 1; {
 		sibling := n ^ 1
@@ -154,21 +182,46 @@ func (b *Buddy) unmarkSubtree(n int) {
 // MarkForDealloc records a block for deferred deallocation. Executor warps
 // call this when a threadblock finishes; the scheduler warp later drains the
 // list. (Immediate freeing by executors could race with the scheduler's
-// allocations — §4.3.)
+// allocations — §4.3.) Marking the same node twice before a drain is a
+// no-op; marking an unallocated node records a stale entry that the drain
+// skips and counts rather than panicking on.
 func (b *Buddy) MarkForDealloc(node int) {
-	b.pending = append(b.pending, node)
+	if node <= 0 || node >= len(b.marked) {
+		b.staleDeallocs++
+		return
+	}
+	if b.inPending[node] && b.pendingGen[node] == b.gen[node] {
+		b.staleDeallocs++
+		return // duplicate mark of the same allocation before drain
+	}
+	b.inPending[node] = true
+	b.pendingGen[node] = b.gen[node]
+	b.pending = append(b.pending, pendingFree{node: node, gen: b.gen[node]})
 }
 
 // DrainPending frees every block marked for deallocation and reports how
-// many were freed (deallocMarkedSM in Algorithm 1).
+// many were freed (deallocMarkedSM in Algorithm 1). Entries whose node was
+// explicitly freed (or freed and reallocated) since being marked are counted
+// as stale and skipped instead of crashing the scheduler warp path; see
+// StaleDeallocs.
 func (b *Buddy) DrainPending() int {
-	n := len(b.pending)
-	for _, node := range b.pending {
-		b.Free(node)
+	freed := 0
+	for _, pf := range b.pending {
+		b.inPending[pf.node] = false
+		if pf.gen != b.gen[pf.node] || !b.marked[pf.node] {
+			b.staleDeallocs++
+			continue
+		}
+		b.Free(pf.node)
+		freed++
 	}
 	b.pending = b.pending[:0]
-	return n
+	return freed
 }
+
+// StaleDeallocs returns how many deferred deallocations were dropped as
+// duplicates or superseded by an explicit Free (diagnostics).
+func (b *Buddy) StaleDeallocs() int { return b.staleDeallocs }
 
 // NumNodes returns the size of the node array including the unused slot 0
 // (128 for the paper's 32 KB / 512 B configuration).

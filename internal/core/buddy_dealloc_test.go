@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBuddyDoubleMarkDeduped: marking the same node twice before a drain
+// frees it once (duplicate marks used to make DrainPending double-Free and
+// panic the scheduler warp path).
+func TestBuddyDoubleMarkDeduped(t *testing.T) {
+	b := NewBuddy(32*1024, 512)
+	_, n, ok := b.Alloc(1024)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	b.MarkForDealloc(n)
+	b.MarkForDealloc(n)
+	if b.PendingFrees() != 1 {
+		t.Fatalf("PendingFrees = %d after duplicate marks, want 1", b.PendingFrees())
+	}
+	if freed := b.DrainPending(); freed != 1 {
+		t.Fatalf("DrainPending = %d, want 1", freed)
+	}
+	if b.Allocated() != 0 {
+		t.Fatalf("Allocated = %d after drain, want 0", b.Allocated())
+	}
+	if b.StaleDeallocs() != 1 {
+		t.Fatalf("StaleDeallocs = %d, want 1 (the duplicate mark)", b.StaleDeallocs())
+	}
+}
+
+// TestBuddyMarkThenExplicitFree: an explicit Free supersedes a pending mark;
+// the drain skips the stale entry instead of panicking — including when the
+// node was reallocated in between (the entry must not free the new owner).
+func TestBuddyMarkThenExplicitFree(t *testing.T) {
+	b := NewBuddy(32*1024, 512)
+	_, n, _ := b.Alloc(1024)
+	b.MarkForDealloc(n)
+	b.Free(n)
+	if freed := b.DrainPending(); freed != 0 {
+		t.Fatalf("DrainPending = %d, want 0 (mark superseded by Free)", freed)
+	}
+
+	// Mark, free, then reallocate the same node before draining: the stale
+	// entry must not free the new allocation out from under its owner.
+	_, n2, _ := b.Alloc(1024)
+	b.MarkForDealloc(n2)
+	b.Free(n2)
+	_, n3, _ := b.Alloc(1024)
+	if n3 != n2 {
+		t.Fatalf("expected node reuse, got %d then %d", n2, n3)
+	}
+	if freed := b.DrainPending(); freed != 0 {
+		t.Fatalf("DrainPending = %d, want 0 (entry belongs to the old generation)", freed)
+	}
+	if b.Allocated() != 1024 {
+		t.Fatalf("Allocated = %d, want 1024 (realloc must survive the drain)", b.Allocated())
+	}
+}
+
+// TestBuddyMarkInvalidNode: out-of-range and never-allocated nodes are
+// recorded as stale, not crashes.
+func TestBuddyMarkInvalidNode(t *testing.T) {
+	b := NewBuddy(32*1024, 512)
+	b.MarkForDealloc(-1)
+	b.MarkForDealloc(0)
+	b.MarkForDealloc(b.NumNodes() + 5)
+	b.MarkForDealloc(3) // in range but unallocated
+	if freed := b.DrainPending(); freed != 0 {
+		t.Fatalf("DrainPending = %d, want 0", freed)
+	}
+	if b.StaleDeallocs() < 4 {
+		t.Fatalf("StaleDeallocs = %d, want >= 4", b.StaleDeallocs())
+	}
+}
+
+// TestBuddyDeallocChurnProperty drives random interleavings of Alloc,
+// MarkForDealloc (with deliberate duplicates), explicit Free, and
+// DrainPending, asserting the allocator never panics, never corrupts
+// accounting, and keeps the marked-parent invariant.
+func TestBuddyDeallocChurnProperty(t *testing.T) {
+	check := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d: panic: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuddy(32*1024, 512)
+		type liveBlock struct{ node, size int }
+		var live []liveBlock
+		for step := 0; step < 500; step++ {
+			switch rng.Intn(5) {
+			case 0, 1: // alloc
+				size := 512 << rng.Intn(5)
+				if _, n, ok := b.Alloc(size); ok {
+					live = append(live, liveBlock{n, size})
+				}
+			case 2: // mark a random live block, sometimes twice
+				if len(live) > 0 {
+					i := rng.Intn(len(live))
+					b.MarkForDealloc(live[i].node)
+					if rng.Intn(3) == 0 {
+						b.MarkForDealloc(live[i].node) // duplicate
+					}
+					live = append(live[:i], live[i+1:]...)
+				}
+			case 3: // explicitly free a live block, occasionally one already marked
+				if len(live) > 0 {
+					i := rng.Intn(len(live))
+					b.MarkForDealloc(live[i].node) // mark AND free: drain must skip
+					b.Free(live[i].node)
+					live = append(live[:i], live[i+1:]...)
+				}
+			case 4:
+				b.DrainPending()
+			}
+			if !b.invariantOK() {
+				t.Logf("seed %d step %d: marked-parent invariant violated", seed, step)
+				return false
+			}
+		}
+		b.DrainPending()
+		// After draining everything marked, exactly the still-live blocks
+		// remain allocated.
+		want := 0
+		for _, lb := range live {
+			want += lb.size
+		}
+		if b.Allocated() != want {
+			t.Logf("seed %d: Allocated = %d, want %d", seed, b.Allocated(), want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,9 @@
 package cuda
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // DevPtr is an opaque device-memory handle (the cudaMalloc return value).
 // The simulator does not store data behind it — workloads keep their data in
@@ -8,14 +11,28 @@ import "fmt"
 // and footprint accounting match a real 12 GB device.
 type DevPtr int64
 
-// allocator is a simple first-fit free-list over the device address space:
-// device allocators are coarse (256-byte alignment) and allocation itself is
+// span is a free region of device address space.
+type span struct {
+	base DevPtr
+	size int64
+}
+
+// allocator is a first-fit free-list over the device address space: device
+// allocators are coarse (256-byte alignment) and allocation itself is
 // host-side bookkeeping, so a free list models cudaMalloc faithfully enough
-// for footprint and OOM behaviour.
+// for footprint and OOM behaviour. Freed spans are coalesced with adjacent
+// free spans and reused by later Mallocs, so alloc/free churn in a
+// long-running service stays within a bounded address range instead of
+// walking the bump pointer off the end of the device.
 type allocator struct {
 	capacity int64
 	inUse    int64
-	next     DevPtr
+	// next is the high-water bump pointer; allocations fall back to it when
+	// no free span fits. Frees that touch it shrink it back down.
+	next DevPtr
+	// free holds reusable spans sorted by base, with no two adjacent
+	// (coalescing merges neighbours on Free).
+	free []span
 	// live maps base -> size.
 	live map[DevPtr]int64
 	// frees counts released allocations (diagnostics).
@@ -30,6 +47,11 @@ type MemoryInfo struct {
 	InUse    int64
 	Free     int64
 	Live     int
+	// HighWater is the top of the touched address range; bounded reuse keeps
+	// it near InUse even under heavy Malloc/Free churn.
+	HighWater int64
+	// FreeSpans is the current fragmentation of the reuse list.
+	FreeSpans int
 }
 
 // initAllocator sizes the heap; called lazily by Malloc.
@@ -54,40 +76,98 @@ func (c *Context) Malloc(n int64) (DevPtr, error) {
 		return 0, fmt.Errorf("cuda: Malloc(%d): non-positive size", n)
 	}
 	c.initAllocator()
+	m := c.mem
 	rounded := (n + devAlign - 1) / devAlign * devAlign
-	if c.mem.inUse+rounded > c.mem.capacity {
+	if m.inUse+rounded > m.capacity {
 		return 0, fmt.Errorf("cuda: out of device memory: %d requested, %d free",
-			rounded, c.mem.capacity-c.mem.inUse)
+			rounded, m.capacity-m.inUse)
 	}
-	p := c.mem.next
-	c.mem.next += DevPtr(rounded)
-	c.mem.live[p] = rounded
-	c.mem.inUse += rounded
-	c.mem.allocs++
+	p, ok := m.take(rounded)
+	if !ok {
+		return 0, fmt.Errorf("cuda: device address space exhausted (fragmentation): %d requested, %d free in %d spans",
+			rounded, m.capacity-m.inUse, len(m.free))
+	}
+	m.live[p] = rounded
+	m.inUse += rounded
+	m.allocs++
 	return p, nil
 }
 
+// take carves a block of `size` bytes, first-fit from the free list, falling
+// back to the bump pointer.
+func (m *allocator) take(size int64) (DevPtr, bool) {
+	for i := range m.free {
+		if m.free[i].size >= size {
+			p := m.free[i].base
+			if m.free[i].size == size {
+				m.free = append(m.free[:i], m.free[i+1:]...)
+			} else {
+				m.free[i].base += DevPtr(size)
+				m.free[i].size -= size
+			}
+			return p, true
+		}
+	}
+	if int64(m.next)+size > devAlign+m.capacity {
+		return 0, false
+	}
+	p := m.next
+	m.next += DevPtr(size)
+	return p, true
+}
+
 // Free releases a device allocation (cudaFree). Freeing an unknown pointer
-// returns an error (cudaErrorInvalidDevicePointer).
+// returns an error (cudaErrorInvalidDevicePointer). The released span is
+// merged with adjacent free spans, and a span that reaches the high-water
+// mark shrinks it, so churn does not grow the touched address range.
 func (c *Context) Free(p DevPtr) error {
 	c.initAllocator()
-	sz, ok := c.mem.live[p]
+	m := c.mem
+	sz, ok := m.live[p]
 	if !ok {
 		return fmt.Errorf("cuda: Free(%#x): not a live device pointer", int64(p))
 	}
-	delete(c.mem.live, p)
-	c.mem.inUse -= sz
-	c.mem.frees++
+	delete(m.live, p)
+	m.inUse -= sz
+	m.frees++
+	m.release(p, sz)
 	return nil
+}
+
+// release inserts [base, base+size) into the sorted free list, coalescing
+// with both neighbours at 256-byte alignment.
+func (m *allocator) release(base DevPtr, size int64) {
+	i := sort.Search(len(m.free), func(i int) bool { return m.free[i].base > base })
+	// Merge with predecessor if contiguous.
+	if i > 0 && m.free[i-1].base+DevPtr(m.free[i-1].size) == base {
+		i--
+		m.free[i].size += size
+	} else {
+		m.free = append(m.free, span{})
+		copy(m.free[i+1:], m.free[i:])
+		m.free[i] = span{base: base, size: size}
+	}
+	// Merge with successor if contiguous.
+	if i+1 < len(m.free) && m.free[i].base+DevPtr(m.free[i].size) == m.free[i+1].base {
+		m.free[i].size += m.free[i+1].size
+		m.free = append(m.free[:i+1], m.free[i+2:]...)
+	}
+	// A span touching the bump pointer is returned to the untouched region.
+	if m.free[i].base+DevPtr(m.free[i].size) == m.next {
+		m.next = m.free[i].base
+		m.free = m.free[:i]
+	}
 }
 
 // MemGetInfo reports the footprint (cudaMemGetInfo).
 func (c *Context) MemGetInfo() MemoryInfo {
 	c.initAllocator()
 	return MemoryInfo{
-		Capacity: c.mem.capacity,
-		InUse:    c.mem.inUse,
-		Free:     c.mem.capacity - c.mem.inUse,
-		Live:     len(c.mem.live),
+		Capacity:  c.mem.capacity,
+		InUse:     c.mem.inUse,
+		Free:      c.mem.capacity - c.mem.inUse,
+		Live:      len(c.mem.live),
+		HighWater: int64(c.mem.next) - devAlign,
+		FreeSpans: len(c.mem.free),
 	}
 }

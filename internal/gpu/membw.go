@@ -10,9 +10,11 @@ import (
 // `rate` bytes per cycle equally, with no per-flow cap (unlike the issue
 // engine's psResource, a single access may consume the full bandwidth).
 type bwResource struct {
-	eng   *sim.Engine
-	rate  float64 // bytes per cycle
-	reqs  []*bwReq
+	eng  *sim.Engine
+	rate float64 // bytes per cycle
+	// reqs holds in-flight transfers by value; completion compacts in place
+	// and reuses the backing array, so steady-state Acquire never allocates.
+	reqs  []bwReq
 	last  sim.Time
 	timer *sim.Timer
 
@@ -43,8 +45,8 @@ func (r *bwResource) settle() {
 	dt := now - r.last
 	if dt > 0 && len(r.reqs) > 0 {
 		pf := r.perFlow()
-		for _, q := range r.reqs {
-			q.remaining -= dt * pf
+		for i := range r.reqs {
+			r.reqs[i].remaining -= dt * pf
 		}
 		r.bytesIntegral += dt * r.rate
 	}
@@ -57,9 +59,9 @@ func (r *bwResource) rearm() {
 		return
 	}
 	minRem := math.Inf(1)
-	for _, q := range r.reqs {
-		if q.remaining < minRem {
-			minRem = q.remaining
+	for i := range r.reqs {
+		if r.reqs[i].remaining < minRem {
+			minRem = r.reqs[i].remaining
 		}
 	}
 	if minRem < 0 {
@@ -71,11 +73,11 @@ func (r *bwResource) rearm() {
 func (r *bwResource) onTimer() {
 	r.settle()
 	kept := r.reqs[:0]
-	for _, q := range r.reqs {
-		if q.remaining <= 1e-6 {
-			q.proc.Wakeup()
+	for i := range r.reqs {
+		if r.reqs[i].remaining <= 1e-6 {
+			r.reqs[i].proc.Wakeup()
 		} else {
-			kept = append(kept, q)
+			kept = append(kept, r.reqs[i])
 		}
 	}
 	r.reqs = kept
@@ -88,7 +90,7 @@ func (r *bwResource) Acquire(p *sim.Proc, bytes int) {
 		return
 	}
 	r.settle()
-	r.reqs = append(r.reqs, &bwReq{remaining: float64(bytes), proc: p})
+	r.reqs = append(r.reqs, bwReq{remaining: float64(bytes), proc: p})
 	r.rearm()
 	p.Block()
 }

@@ -22,7 +22,9 @@ const psEps = 1e-6
 type psResource struct {
 	eng   *sim.Engine
 	width float64
-	reqs  []*psReq
+	// reqs holds in-service requests by value; completion compacts in place
+	// and reuses the backing array, so steady-state Acquire never allocates.
+	reqs  []psReq
 	last  sim.Time
 	timer *sim.Timer
 
@@ -58,8 +60,8 @@ func (r *psResource) settle() {
 	if dt > 0 {
 		rt := r.rate()
 		n := float64(len(r.reqs))
-		for _, q := range r.reqs {
-			q.remaining -= dt * rt
+		for i := range r.reqs {
+			r.reqs[i].remaining -= dt * rt
 		}
 		r.busyIntegral += dt * math.Min(n, r.width)
 		r.queueIntegral += dt * n
@@ -74,9 +76,9 @@ func (r *psResource) rearm() {
 		return
 	}
 	minRem := math.Inf(1)
-	for _, q := range r.reqs {
-		if q.remaining < minRem {
-			minRem = q.remaining
+	for i := range r.reqs {
+		if r.reqs[i].remaining < minRem {
+			minRem = r.reqs[i].remaining
 		}
 	}
 	if minRem < 0 {
@@ -88,11 +90,11 @@ func (r *psResource) rearm() {
 func (r *psResource) onTimer() {
 	r.settle()
 	kept := r.reqs[:0]
-	for _, q := range r.reqs {
-		if q.remaining <= psEps {
-			q.proc.Wakeup()
+	for i := range r.reqs {
+		if r.reqs[i].remaining <= psEps {
+			r.reqs[i].proc.Wakeup()
 		} else {
-			kept = append(kept, q)
+			kept = append(kept, r.reqs[i])
 		}
 	}
 	r.reqs = kept
@@ -106,7 +108,7 @@ func (r *psResource) Acquire(p *sim.Proc, work float64) {
 		return
 	}
 	r.settle()
-	r.reqs = append(r.reqs, &psReq{remaining: work, proc: p})
+	r.reqs = append(r.reqs, psReq{remaining: work, proc: p})
 	r.rearm()
 	p.Block()
 }

@@ -56,17 +56,23 @@ type Bus struct {
 	pipe [2]*pipe
 
 	// Transfers and BytesMoved count completed transactions (diagnostics and
-	// handshake accounting in experiments).
-	Transfers  [2]int
-	BytesMoved [2]int64
+	// handshake accounting in experiments). Started and BytesRequested count
+	// transaction starts, so mid-run sampling sees in-flight traffic too:
+	// Started-Transfers is the number of transactions currently on the wire.
+	Transfers      [2]int
+	BytesMoved     [2]int64
+	Started        [2]int
+	BytesRequested [2]int64
 }
 
 // pipe is a processor-sharing bandwidth resource: n concurrent transfers
 // each progress at bandwidth/n.
 type pipe struct {
-	eng   *sim.Engine
-	rate  float64 // bytes per cycle when alone
-	reqs  []*xfer
+	eng  *sim.Engine
+	rate float64 // bytes per cycle when alone
+	// reqs holds in-flight transfers by value; completion compacts in place
+	// and reuses the backing array, so steady-state transfer never allocates.
+	reqs  []xfer
 	last  sim.Time
 	timer *sim.Timer
 }
@@ -94,8 +100,8 @@ func (p *pipe) settle() {
 	dt := now - p.last
 	if dt > 0 {
 		r := p.perFlow()
-		for _, q := range p.reqs {
-			q.remaining -= dt * r
+		for i := range p.reqs {
+			p.reqs[i].remaining -= dt * r
 		}
 	}
 	p.last = now
@@ -107,9 +113,9 @@ func (p *pipe) rearm() {
 		return
 	}
 	minRem := math.Inf(1)
-	for _, q := range p.reqs {
-		if q.remaining < minRem {
-			minRem = q.remaining
+	for i := range p.reqs {
+		if p.reqs[i].remaining < minRem {
+			minRem = p.reqs[i].remaining
 		}
 	}
 	if minRem < 0 {
@@ -121,11 +127,11 @@ func (p *pipe) rearm() {
 func (p *pipe) onTimer() {
 	p.settle()
 	kept := p.reqs[:0]
-	for _, q := range p.reqs {
-		if q.remaining <= 1e-6 {
-			q.proc.Wakeup()
+	for i := range p.reqs {
+		if p.reqs[i].remaining <= 1e-6 {
+			p.reqs[i].proc.Wakeup()
 		} else {
-			kept = append(kept, q)
+			kept = append(kept, p.reqs[i])
 		}
 	}
 	p.reqs = kept
@@ -137,7 +143,7 @@ func (p *pipe) transfer(proc *sim.Proc, bytes int) {
 		return
 	}
 	p.settle()
-	p.reqs = append(p.reqs, &xfer{remaining: float64(bytes), proc: proc})
+	p.reqs = append(p.reqs, xfer{remaining: float64(bytes), proc: proc})
 	p.rearm()
 	proc.Block()
 }
@@ -158,16 +164,25 @@ func New(eng *sim.Engine, cfg Config) *Bus {
 func (b *Bus) Config() Config { return b.cfg }
 
 // Transfer moves `bytes` in direction d, blocking the calling process for
-// the transaction latency plus bandwidth-shared transfer time.
+// the transaction latency plus bandwidth-shared transfer time. The start is
+// counted before the process blocks and the completion after, so diagnostics
+// sampled mid-run (e.g. handshake counts taken before quiesce) see in-flight
+// transactions rather than undercounting them.
 func (b *Bus) Transfer(p *sim.Proc, d Dir, bytes int) {
 	if bytes < 0 {
 		panic("pcie: negative transfer size")
 	}
+	b.Started[d]++
+	b.BytesRequested[d] += int64(bytes)
 	p.Sleep(b.cfg.Latency)
 	b.pipe[d].transfer(p, bytes)
 	b.Transfers[d]++
 	b.BytesMoved[d] += int64(bytes)
 }
+
+// InFlight returns the number of transactions started but not yet completed
+// in direction d.
+func (b *Bus) InFlight(d Dir) int { return b.Started[d] - b.Transfers[d] }
 
 // TransferAsync starts a transfer and invokes onDone (on the event loop)
 // when it completes, without blocking the caller.

@@ -114,3 +114,37 @@ func TestNegativeTransferPanics(t *testing.T) {
 	})
 	eng.Run()
 }
+
+// TestStartedVsCompletedCounters: Transfers[d] only counts *completed*
+// transactions; Started[d]/BytesRequested[d] tick at admission. Sampling
+// mid-flight (e.g. a utilization probe) used to read zero activity while a
+// large DMA was in progress.
+func TestStartedVsCompletedCounters(t *testing.T) {
+	eng := sim.New()
+	bus := New(eng, Config{BytesPerCycle: 10, Latency: 0})
+	eng.Spawn("h", func(p *sim.Proc) {
+		bus.Transfer(p, HostToDevice, 1000) // 100 cycles
+	})
+	var midStarted, midDone, midInFlight int
+	eng.Schedule(50, func() { // sample mid-transfer
+		midStarted = bus.Started[HostToDevice]
+		midDone = bus.Transfers[HostToDevice]
+		midInFlight = bus.InFlight(HostToDevice)
+	})
+	eng.Run()
+	if midStarted != 1 || midDone != 0 || midInFlight != 1 {
+		t.Fatalf("mid-flight: Started=%d Transfers=%d InFlight=%d, want 1/0/1",
+			midStarted, midDone, midInFlight)
+	}
+	if bus.Started[HostToDevice] != 1 || bus.Transfers[HostToDevice] != 1 {
+		t.Fatalf("after drain: Started=%d Transfers=%d, want 1/1",
+			bus.Started[HostToDevice], bus.Transfers[HostToDevice])
+	}
+	if bus.InFlight(HostToDevice) != 0 {
+		t.Fatalf("InFlight = %d after drain, want 0", bus.InFlight(HostToDevice))
+	}
+	if bus.BytesRequested[HostToDevice] != 1000 || bus.BytesMoved[HostToDevice] != 1000 {
+		t.Fatalf("bytes: requested=%d moved=%d, want 1000/1000",
+			bus.BytesRequested[HostToDevice], bus.BytesMoved[HostToDevice])
+	}
+}

@@ -1,0 +1,84 @@
+package runners
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestDeterminismGolden pins the final virtual times of a small fig5/fig6
+// matrix to exact bit patterns (hex float literals). The simulation is
+// specified to be deterministic (DESIGN.md decision #1): same seed, same
+// config, same binary => byte-identical results. Any engine change that
+// shifts event ordering — heap arity, timer re-keying, baton handoff — must
+// keep these values bit-for-bit; a legitimate *model* change that moves them
+// needs these constants re-captured and the shift explained in the PR.
+func TestDeterminismGolden(t *testing.T) {
+	cfg := DefaultConfig()
+
+	type runnerFn func([]workloads.TaskDef, Config) Result
+	runAll := func(name string, tasks int, want map[string]float64, fns map[string]runnerFn) {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatalf("workload %q: %v", name, err)
+		}
+		opt := workloads.Options{Tasks: tasks, Threads: 128, Seed: 1, UseShared: b.SupportsShared}
+		for sys, fn := range fns {
+			wantV, pinned := want[sys]
+			if !pinned {
+				continue
+			}
+			got := float64(fn(b.Make(opt), cfg).Elapsed)
+			if got != wantV {
+				t.Errorf("%s/%s tasks=%d: Elapsed = %x (%v), want %x (%v)",
+					name, sys, tasks, got, got, wantV, wantV)
+			}
+		}
+	}
+
+	all := map[string]runnerFn{
+		"pagoda":   RunPagoda,
+		"hyperq":   RunHyperQ,
+		"gemtc":    RunGeMTC,
+		"pthreads": RunPThreads,
+	}
+	pgHq := map[string]runnerFn{"pagoda": RunPagoda, "hyperq": RunHyperQ}
+
+	// fig5-style: 128 tasks across all four systems.
+	runAll("MB", 128, map[string]float64{
+		"pagoda":   0x1.df8d111111111p+18,
+		"hyperq":   0x1.12669b4c1aaf2p+19,
+		"gemtc":    0x1.92735fa6f984ep+19,
+		"pthreads": 0x1.2dca827627628p+22,
+	}, all)
+	runAll("DCT", 128, map[string]float64{
+		"pagoda":   0x1.97eb191919191p+19,
+		"hyperq":   0x1.b1a862cace8adp+19,
+		"gemtc":    0x1.762fp+20,
+		"pthreads": 0x1.c7d2c4ec4ec5p+19,
+	}, all)
+	runAll("3DES", 128, map[string]float64{
+		"pagoda":   0x1.4377196053ddp+18,
+		"hyperq":   0x1.2487e8c348d6cp+18,
+		"gemtc":    0x1.17bbbd8216a78p+19,
+		"pthreads": 0x1.cea3189d89d8ap+21,
+	}, all)
+
+	// fig6-style weak scaling: Pagoda vs HyperQ at two task counts.
+	runAll("MB", 64, map[string]float64{
+		"pagoda": 0x1.2ab841041041p+18,
+		"hyperq": 0x1.4a6b580f13e29p+18,
+	}, pgHq)
+	runAll("CONV", 64, map[string]float64{
+		"pagoda": 0x1.f9beep+18,
+		"hyperq": 0x1.eb7d378d66156p+18,
+	}, pgHq)
+	runAll("MB", 256, map[string]float64{
+		"pagoda": 0x1.a8ec000000005p+19,
+		"hyperq": 0x1.e7ac80ccdb7fp+19,
+	}, pgHq)
+	runAll("CONV", 256, map[string]float64{
+		"pagoda": 0x1.8d0b355555555p+20,
+		"hyperq": 0x1.94da41b77bd08p+20,
+	}, pgHq)
+}

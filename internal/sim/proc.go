@@ -3,15 +3,17 @@ package sim
 import "fmt"
 
 // Proc is a coroutine-style simulation process. A Proc runs on its own
-// goroutine but only while it holds the engine's execution baton; it yields
-// the baton whenever it blocks on a simulation primitive (Sleep, Wait, ...).
-// Exactly one Proc (or the event loop) runs at any instant, which makes all
-// simulation state single-threaded.
+// goroutine but only while it holds the engine's execution baton. When it
+// blocks on a simulation primitive (Sleep, Wait, ...) it does not bounce the
+// baton through a central loop goroutine: the blocking goroutine itself keeps
+// driving the event loop (Engine.dispatch) and hands the baton directly to
+// the next process — one channel handoff per switch. Exactly one Proc (or
+// one dispatch loop) runs at any instant, which makes all simulation state
+// single-threaded.
 type Proc struct {
 	eng  *Engine
 	name string
-	wake chan struct{} // engine -> proc: you hold the baton
-	park chan struct{} // proc -> engine: baton returned
+	wake chan struct{} // dispatcher -> proc: you hold the baton
 	dead bool
 	// wakeGen guards against double wake-ups: a blocked proc records the
 	// generation it is waiting on, and stale resume events are dropped.
@@ -30,7 +32,6 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 		eng:  e,
 		name: name,
 		wake: make(chan struct{}),
-		park: make(chan struct{}),
 	}
 	e.procs++
 	if e.live == nil {
@@ -41,12 +42,16 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 		<-p.wake // wait for first resume
 		body(p)
 		p.dead = true
-		p.eng.procs--
-		delete(p.eng.live, p)
-		p.park <- struct{}{}
+		e.procs--
+		delete(e.live, p)
+		// The finished process still holds the baton: keep driving the event
+		// loop here, then let the goroutine exit once the baton moves on.
+		if e.dispatch(nil) == runEnded {
+			e.endRun()
+		}
 	}()
 	gen := p.arm()
-	e.Schedule(0, func() { p.resume(gen) })
+	e.scheduleProc(0, p, gen)
 	return p
 }
 
@@ -70,28 +75,21 @@ func (p *Proc) arm() uint64 {
 	return p.wakeGen
 }
 
-// resume hands the baton to the proc if gen is still current, and blocks the
-// caller (the event loop or another proc's scheduled event) until the proc
-// parks again.
-func (p *Proc) resume(gen uint64) {
-	if p.dead || gen != p.wakeGen || !p.armed {
-		return // stale wake-up
-	}
-	p.armed = false
-	prev := p.eng.current
-	p.eng.current = p
-	p.wake <- struct{}{}
-	<-p.park
-	p.eng.current = prev
-}
-
-// yield returns the baton to the event loop and blocks until resumed. The
-// caller must have armed a wake-up beforehand.
+// yield releases the baton and blocks until resumed. The caller must have
+// armed a wake-up beforehand. Rather than handing control to a central loop,
+// the yielding goroutine runs the event loop itself until the baton moves to
+// another process (or the run ends), then parks on its own wake channel.
 func (p *Proc) yield() {
 	if !p.armed {
 		panic(fmt.Sprintf("sim: proc %q yielding with no pending wake-up", p.name))
 	}
-	p.park <- struct{}{}
+	e := p.eng
+	switch e.dispatch(p) {
+	case selfResumed:
+		return // baton came straight back, no handoff needed
+	case runEnded:
+		e.endRun()
+	}
 	<-p.wake
 }
 
@@ -99,7 +97,7 @@ func (p *Proc) yield() {
 // resumes after already-queued events at the current time.
 func (p *Proc) Sleep(d Time) {
 	gen := p.arm()
-	p.eng.Schedule(d, func() { p.resume(gen) })
+	p.eng.scheduleProc(d, p, gen)
 	p.yield()
 }
 
@@ -119,6 +117,5 @@ func (p *Proc) Wakeup() {
 	if !p.armed || p.dead {
 		return
 	}
-	gen := p.wakeGen
-	p.eng.Schedule(0, func() { p.resume(gen) })
+	p.eng.scheduleProc(0, p, p.wakeGen)
 }

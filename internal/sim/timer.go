@@ -1,13 +1,15 @@
 package sim
 
 // Timer is a cancellable, re-armable one-shot timer. Unlike raw Schedule
-// calls, a Timer can be Stopped or re-Reset before it fires; stale firings
-// are suppressed with a generation counter (events in the heap cannot be
-// removed, only invalidated).
+// calls, a Timer can be Stopped or re-Reset before it fires. The timer owns a
+// single indexed entry in the engine's event heap: ResetAt re-keys that entry
+// in place and Stop removes it, so rearm-heavy users (the processor-sharing
+// resources in internal/gpu and internal/pcie) leave no stale events behind
+// and Engine.Pending stays proportional to live timers, not total Resets.
 type Timer struct {
 	eng *Engine
 	fn  func()
-	gen uint64
+	ev  *event // heap entry while armed, nil otherwise
 	at  Time
 	set bool
 }
@@ -22,26 +24,39 @@ func NewTimer(e *Engine, fn func()) *Timer {
 func (t *Timer) Reset(delay Time) { t.ResetAt(t.eng.now + delay) }
 
 // ResetAt arms the timer to fire at absolute time at, cancelling any earlier
-// arming.
+// arming. An armed timer's queue entry is re-keyed in place; re-arming never
+// grows the queue. The entry takes a fresh sequence number, so the firing
+// order relative to other same-timestamp events is exactly as if it had been
+// newly scheduled.
 func (t *Timer) ResetAt(at Time) {
-	t.gen++
+	e := t.eng
 	t.set = true
 	t.at = at
-	gen := t.gen
-	t.eng.ScheduleAt(at, func() {
-		if gen != t.gen || !t.set {
-			return
+	if t.ev != nil {
+		if at < e.now {
+			panic("sim: timer reset in the past")
 		}
-		t.set = false
-		t.fn()
-	})
+		e.seq++
+		t.ev.at = at
+		t.ev.seq = e.seq
+		e.heapFix(t.ev.idx)
+		return
+	}
+	ev := e.newEvent(at)
+	ev.tmr = t
+	t.ev = ev
 }
 
-// Stop disarms the timer. It is safe to call whether or not the timer is
-// armed.
+// Stop disarms the timer, removing its queue entry. It is safe to call
+// whether or not the timer is armed.
 func (t *Timer) Stop() {
-	t.gen++
 	t.set = false
+	if t.ev != nil {
+		ev := t.ev
+		t.ev = nil
+		t.eng.heapRemove(ev.idx)
+		t.eng.freeEvent(ev)
+	}
 }
 
 // Armed reports whether the timer is set to fire.
