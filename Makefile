@@ -1,11 +1,19 @@
 GO ?= go
 
-.PHONY: check test vet race bench-engine
+.PHONY: check lint test vet race bench-engine
 
-# check is the pre-merge gate: static analysis, race detection on the
-# packages with goroutine handoff (the sim engine and its gpu consumers),
-# and one pass of the engine benchmarks to catch gross perf regressions.
-check: vet race bench-engine
+# check is the pre-merge gate: the determinism analyzers (pagodavet), go vet,
+# race detection across the internal tree, and one pass of the engine
+# benchmarks to catch gross perf regressions. lint runs first so a wall-clock
+# read or stray goroutine fails the build before anything expensive starts.
+check: lint vet race bench-engine
+
+# lint runs the project's determinism & sim-safety analyzers. Any
+# unsuppressed finding (e.g. a time.Now injected into internal/sim) exits
+# nonzero and fails the gate; intentional exceptions are annotated in the
+# source with //pagoda:allow <check> <reason>.
+lint:
+	$(GO) run ./cmd/pagodavet ./...
 
 vet:
 	$(GO) vet ./...
@@ -14,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/gpu/...
+	$(GO) test -race ./internal/...
 
 bench-engine:
 	$(GO) test -bench=BenchmarkEngine -benchtime=1x -run='^$$' ./internal/sim/ .

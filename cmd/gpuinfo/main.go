@@ -5,32 +5,40 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/gpu"
 )
 
 func main() {
-	cfg := gpu.TitanX()
-	fmt.Println("Simulated device: NVIDIA Maxwell Titan X")
-	fmt.Printf("  SMMs:                 %d\n", cfg.NumSMMs)
-	fmt.Printf("  CUDA cores:           %d (%d per SMM)\n",
-		cfg.NumSMMs*int(cfg.IssueWidth)*cfg.ThreadsPerWarp, int(cfg.IssueWidth)*cfg.ThreadsPerWarp)
-	fmt.Printf("  Warps per SMM:        %d (%d threads)\n", cfg.WarpsPerSMM, cfg.MaxResidentThreads())
-	fmt.Printf("  Shared mem per SMM:   %d KB\n", cfg.SharedPerSMM/1024)
-	fmt.Printf("  Registers per SMM:    %dK x 32-bit\n", cfg.RegsPerSMM/1024)
-	fmt.Printf("  Max TBs per SMM:      %d\n", cfg.MaxTBsPerSMM)
-	fmt.Printf("  Device warp capacity: %d\n\n", cfg.TotalWarps())
+	render(os.Stdout)
+}
 
-	fmt.Println("Narrow-task occupancy (256-thread task = 8 warps), per §2:")
+// render writes the full report; split from main so the smoke test can run
+// the command end to end without capturing the process's stdout.
+func render(w io.Writer) {
+	cfg := gpu.TitanX()
+	fmt.Fprintln(w, "Simulated device: NVIDIA Maxwell Titan X")
+	fmt.Fprintf(w, "  SMMs:                 %d\n", cfg.NumSMMs)
+	fmt.Fprintf(w, "  CUDA cores:           %d (%d per SMM)\n",
+		cfg.NumSMMs*int(cfg.IssueWidth)*cfg.ThreadsPerWarp, int(cfg.IssueWidth)*cfg.ThreadsPerWarp)
+	fmt.Fprintf(w, "  Warps per SMM:        %d (%d threads)\n", cfg.WarpsPerSMM, cfg.MaxResidentThreads())
+	fmt.Fprintf(w, "  Shared mem per SMM:   %d KB\n", cfg.SharedPerSMM/1024)
+	fmt.Fprintf(w, "  Registers per SMM:    %dK x 32-bit\n", cfg.RegsPerSMM/1024)
+	fmt.Fprintf(w, "  Max TBs per SMM:      %d\n", cfg.MaxTBsPerSMM)
+	fmt.Fprintf(w, "  Device warp capacity: %d\n\n", cfg.TotalWarps())
+
+	fmt.Fprintln(w, "Narrow-task occupancy (256-thread task = 8 warps), per §2:")
 	one := gpu.NarrowTaskOccupancy(cfg, 256, 1)
 	hq := gpu.NarrowTaskOccupancy(cfg, 256, 32)
-	fmt.Printf("  1 task at a time:       %5.2f%%  (paper: 0.52%%)\n", one*100)
-	fmt.Printf("  32 tasks under HyperQ:  %5.2f%%  (paper: 16.67%%)\n\n", hq*100)
+	fmt.Fprintf(w, "  1 task at a time:       %5.2f%%  (paper: 0.52%%)\n", one*100)
+	fmt.Fprintf(w, "  32 tasks under HyperQ:  %5.2f%%  (paper: 16.67%%)\n\n", hq*100)
 
-	fmt.Println("MasterKernel launch analysis (2 MTBs/SMM x 1024 threads, 32KB smem, 32 regs):")
+	fmt.Fprintln(w, "MasterKernel launch analysis (2 MTBs/SMM x 1024 threads, 32KB smem, 32 regs):")
 	occ := gpu.TheoreticalOccupancy(cfg, gpu.LaunchSpec{
 		BlockThreads: 1024, SharedPerTB: 32 * 1024, RegsPerThread: 32,
 	})
-	fmt.Printf("  Resident TBs/SMM: %d, warps/SMM: %d, occupancy: %.0f%% (limited by %s)\n",
+	fmt.Fprintf(w, "  Resident TBs/SMM: %d, warps/SMM: %d, occupancy: %.0f%% (limited by %s)\n",
 		occ.TBsPerSMM, occ.WarpsPerSMM, occ.Fraction*100, occ.LimitedBy)
 }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderSmoke runs the whole report and pins the §2 numbers it exists to
+// show: the Titan X geometry and the two occupancy motivators.
+func TestRenderSmoke(t *testing.T) {
+	var sb strings.Builder
+	render(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"Simulated device: NVIDIA Maxwell Titan X",
+		"0.52%",           // paper's single-narrow-task occupancy
+		"16.67%",          // paper's 32-task HyperQ occupancy
+		"occupancy: 100%", // MasterKernel launch fills the device
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q; got:\n%s", want, out)
+		}
+	}
+}

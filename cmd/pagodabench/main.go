@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,19 +21,29 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, "+fmt.Sprint(harness.Experiments()))
-	tasks := flag.Int("tasks", 2048, "tasks per benchmark (paper: 32768)")
-	smms := flag.Int("smms", 24, "simulated SMM count (Titan X: 24)")
-	seed := flag.Int64("seed", 1, "workload generation seed")
-	format := flag.String("format", "text", "output format: text, csv, json")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	flag.Parse()
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+// run executes the requested experiments; split from main so the smoke test
+// can drive the command without spawning a process.
+func run(out, errw io.Writer, args []string) int {
+	fs := flag.NewFlagSet("pagodabench", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	exp := fs.String("exp", "all", "experiment id: all, "+fmt.Sprint(harness.Experiments()))
+	tasks := fs.Int("tasks", 2048, "tasks per benchmark (paper: 32768)")
+	smms := fs.Int("smms", 24, "simulated SMM count (Titan X: 24)")
+	seed := fs.Int64("seed", 1, "workload generation seed")
+	format := fs.String("format", "text", "output format: text, csv, json")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, id := range harness.Experiments() {
-			fmt.Println(id)
+			fmt.Fprintln(out, id)
 		}
-		return
+		return 0
 	}
 
 	p := harness.Params{Tasks: *tasks, SMMs: *smms, Seed: *seed}
@@ -45,23 +56,24 @@ func main() {
 		start := time.Now()
 		rep, err := harness.Run(id, p)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(errw, err)
+			return 2
 		}
 		switch *format {
 		case "csv":
-			if err := rep.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+			if err := rep.WriteCSV(out); err != nil {
+				fmt.Fprintln(errw, err)
+				return 1
 			}
 		case "json":
-			if err := rep.WriteJSON(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+			if err := rep.WriteJSON(out); err != nil {
+				fmt.Fprintln(errw, err)
+				return 1
 			}
 		default:
-			rep.Fprint(os.Stdout)
-			fmt.Printf("(%s regenerated in %.1fs)\n\n", id, time.Since(start).Seconds())
+			rep.Fprint(out)
+			fmt.Fprintf(out, "(%s regenerated in %.1fs)\n\n", id, time.Since(start).Seconds())
 		}
 	}
+	return 0
 }

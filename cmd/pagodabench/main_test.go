@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestListSmoke pins the experiment registry the CLI advertises.
+func TestListSmoke(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run(&out, &errw, []string{"-list"}); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr %q", code, errw.String())
+	}
+	for _, id := range []string{"table3", "fig5", "cpuschemes"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %q:\n%s", id, out.String())
+		}
+	}
+}
+
+// TestRunSmoke regenerates the cheapest experiment at a tiny scale and
+// checks a recognizable report comes out in each format.
+func TestRunSmoke(t *testing.T) {
+	for _, format := range []string{"text", "csv"} {
+		var out, errw strings.Builder
+		code := run(&out, &errw, []string{"-exp", "cpuschemes", "-tasks", "64", "-format", format})
+		if code != 0 {
+			t.Fatalf("run(cpuschemes, %s) = %d, stderr %q", format, code, errw.String())
+		}
+		if !strings.Contains(out.String(), "OpenMP") {
+			t.Errorf("%s report missing the OpenMP scheme:\n%s", format, out.String())
+		}
+	}
+}
+
+// TestRunRejectsUnknownExperiment pins the error path and exit code.
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run(&out, &errw, []string{"-exp", "fig99"}); code != 2 {
+		t.Fatalf("run(fig99) = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown experiment") {
+		t.Errorf("stderr = %q, want unknown-experiment error", errw.String())
+	}
+}

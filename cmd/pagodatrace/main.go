@@ -12,8 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/cuda"
@@ -25,16 +27,27 @@ import (
 )
 
 func main() {
-	benchName := flag.String("bench", "MB", "workload: MB, FB, BF, CONV, DCT, MM, SLUD, 3DES, MPE")
-	tasks := flag.Int("tasks", 256, "number of tasks")
-	threads := flag.Int("threads", 128, "threads per task")
-	smms := flag.Int("smms", 8, "simulated SMMs")
-	out := flag.String("o", "trace.json", "output file")
-	flag.Parse()
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the traced simulation; split from main so the smoke test can
+// drive the command with small flags and inspect the written trace.
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("pagodatrace", flag.ContinueOnError)
+	benchName := fs.String("bench", "MB", "workload: MB, FB, BF, CONV, DCT, MM, SLUD, 3DES, MPE")
+	tasks := fs.Int("tasks", 256, "number of tasks")
+	threads := fs.Int("threads", 128, "threads per task")
+	smms := fs.Int("smms", 8, "simulated SMMs")
+	out := fs.String("o", "trace.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	b, err := workloads.ByName(*benchName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defs := b.Make(workloads.Options{Tasks: *tasks, Threads: *threads, Seed: 1})
 
@@ -69,17 +82,25 @@ func main() {
 
 	f, err := os.Create(*out)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
 	if err := tr.WriteChromeJSON(f); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	st := rt.Stats()
-	fmt.Printf("ran %d %s tasks in %.2f ms simulated; wrote %d spans to %s\n",
+	fmt.Fprintf(w, "ran %d %s tasks in %.2f ms simulated; wrote %d spans to %s\n",
 		st.Completed, *benchName, end/1e6, tr.Len(), *out)
-	for cat, s := range tr.Summary() {
-		fmt.Printf("  %-12s %6d spans, %10.1f us total\n", cat, s.Count, s.Busy/1e3)
+	summary := tr.Summary()
+	cats := make([]string, 0, len(summary))
+	for cat := range summary {
+		cats = append(cats, cat)
 	}
+	sort.Strings(cats)
+	for _, cat := range cats {
+		s := summary[cat]
+		fmt.Fprintf(w, "  %-12s %6d spans, %10.1f us total\n", cat, s.Count, s.Busy/1e3)
+	}
+	return nil
 }

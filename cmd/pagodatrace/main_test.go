@@ -1,0 +1,42 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the command end to end on a small Mandelbrot config
+// and checks the written file is a non-empty Chrome trace-event array.
+func TestRunSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	var sb strings.Builder
+	if err := run(&sb, []string{"-bench", "MB", "-tasks", "16", "-smms", "4", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ran 16 MB tasks") {
+		t.Errorf("summary missing task count: %q", sb.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace has no events")
+	}
+}
+
+// TestRunRejectsUnknownBench pins the error path.
+func TestRunRejectsUnknownBench(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-bench", "NOPE", "-o", filepath.Join(t.TempDir(), "t.json")}); err == nil {
+		t.Fatal("run accepted an unknown workload")
+	}
+}

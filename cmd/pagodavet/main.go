@@ -1,0 +1,116 @@
+// Command pagodavet enforces the repository's determinism rules (DESIGN.md
+// "Determinism rules"): no wall-clock reads, unseeded randomness,
+// order-dependent map iteration, raw goroutines, or OS synchronization in
+// simulation code. It type-checks the requested packages with the standard
+// library's source importer — no external dependencies, works offline — and
+// exits nonzero on any unsuppressed finding, which is how `make check` fails
+// the build.
+//
+// Usage:
+//
+//	pagodavet [-v] [packages]
+//
+// Packages default to ./... and follow the go tool's pattern shape. Findings
+// print as
+//
+//	file:line: [check] message
+//
+// Intentional exceptions are annotated in the source:
+//
+//	//pagoda:allow <check> <reason>
+//
+// either trailing the offending line or on the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checks"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(out, errw io.Writer, args []string) int {
+	fs := flag.NewFlagSet("pagodavet", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	verbose := fs.Bool("v", false, "also report suppressed findings and per-check totals")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(errw, "pagodavet:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(errw, "pagodavet:", err)
+		return 2
+	}
+
+	var kept, suppressed []analysis.Finding
+	for _, pkg := range pkgs {
+		for _, a := range checks.All() {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.RelPath) {
+				continue
+			}
+			pass := analysis.NewPass(a, pkg)
+			a.Run(pass)
+			k, s := analysis.ApplySuppressions(pass, pass.Findings())
+			kept = append(kept, k...)
+			suppressed = append(suppressed, s...)
+		}
+	}
+
+	sortFindings(kept)
+	sortFindings(suppressed)
+	for _, f := range kept {
+		fmt.Fprintln(out, relFinding(cwd, f))
+	}
+	if *verbose {
+		for _, f := range suppressed {
+			fmt.Fprintf(out, "%s (suppressed)\n", relFinding(cwd, f))
+		}
+		fmt.Fprintf(out, "pagodavet: %d package(s), %d finding(s), %d suppressed\n",
+			len(pkgs), len(kept), len(suppressed))
+	}
+	if len(kept) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func sortFindings(fs []analysis.Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+}
+
+// relFinding prints the finding with a cwd-relative path, the shape editors
+// and CI logs expect.
+func relFinding(cwd string, f analysis.Finding) string {
+	if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}

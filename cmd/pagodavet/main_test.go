@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir moves the test into dir and restores the old cwd on cleanup.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+// TestSweepCleanTree runs the full determinism sweep over this repository —
+// the same invocation `make lint` uses — and requires it to pass: the tree
+// must stay clean, with every intentional exception carrying a
+// //pagoda:allow annotation.
+func TestSweepCleanTree(t *testing.T) {
+	chdir(t, filepath.Join("..", ".."))
+	var out, errw strings.Builder
+	if code := run(&out, &errw, []string{"./..."}); code != 0 {
+		t.Fatalf("pagodavet ./... = %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errw.String())
+	}
+}
+
+// TestCatchesInjectedWallclock pins the gate's teeth: a time.Now smuggled
+// into a simulation package must turn the sweep red. It builds a scratch
+// module whose internal/sim contains the injection and sweeps it.
+func TestCatchesInjectedWallclock(t *testing.T) {
+	dir := t.TempDir()
+	simDir := filepath.Join(dir, "internal", "sim")
+	if err := os.MkdirAll(simDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		filepath.Join(dir, "go.mod"): "module scratch\n\ngo 1.22\n",
+		filepath.Join(simDir, "sim.go"): `package sim
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+	for path, src := range files {
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chdir(t, dir)
+
+	var out, errw strings.Builder
+	if code := run(&out, &errw, []string{"./..."}); code != 1 {
+		t.Fatalf("sweep of injected tree = %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "[wallclock] time.Now") {
+		t.Errorf("expected a wallclock finding, got:\n%s", out.String())
+	}
+}
+
+// TestVerboseReportsSuppressions checks -v surfaces the tree's annotated
+// exceptions instead of hiding them.
+func TestVerboseReportsSuppressions(t *testing.T) {
+	chdir(t, filepath.Join("..", ".."))
+	var out, errw strings.Builder
+	if code := run(&out, &errw, []string{"-v", "./internal/sim"}); code != 0 {
+		t.Fatalf("pagodavet -v ./internal/sim = %d\nstderr:\n%s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "(suppressed)") {
+		t.Errorf("-v output missing suppressed findings:\n%s", out.String())
+	}
+}

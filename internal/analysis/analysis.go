@@ -1,0 +1,178 @@
+// Package analysis is a tiny stdlib-only static-analysis framework for the
+// repository's determinism rules. It mirrors the shape of
+// golang.org/x/tools/go/analysis — Analyzer + Pass + reported findings — but
+// depends only on go/ast, go/token and go/types so the module stays
+// dependency-free and buildable offline.
+//
+// Findings can be suppressed line-by-line with
+//
+//	//pagoda:allow <check> <reason>
+//
+// placed either at the end of the offending line or on a comment line
+// directly above it. The reason is mandatory: every intentional exception to
+// a determinism rule must say why it is safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// A Finding is one rule violation at a source position.
+type Finding struct {
+	Pos   token.Position
+	Check string // analyzer name, printed as [check]
+	Msg   string
+}
+
+// String formats the finding the way cmd/pagodavet prints it.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Msg)
+}
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// AppliesTo reports whether the check runs on the package with the given
+	// module-relative import path ("internal/sim", "cmd/gpuinfo", "" for the
+	// module root). Fixture tests bypass this and call Run directly.
+	AppliesTo func(relPath string) bool
+	Run       func(*Pass)
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Src      map[string][]byte // filename -> source, for suppression placement
+	Pkg      *types.Package
+	Info     *types.Info
+	RelPath  string // module-relative import path
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:   p.Fset.Position(pos),
+		Check: p.Analyzer.Name,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Findings returns everything reported so far, suppressions not yet applied.
+func (p *Pass) Findings() []Finding { return p.findings }
+
+// allowPrefix introduces a suppression comment. The directive form (no space
+// after //) matches Go convention for machine-readable comments.
+const allowPrefix = "pagoda:allow"
+
+// suppression is one parsed //pagoda:allow directive.
+type suppression struct {
+	file   string
+	line   int // line the directive covers (its own, or the next for a standalone comment)
+	check  string
+	reason string
+}
+
+// parseSuppressions extracts every //pagoda:allow directive from a file. A
+// directive with code before it on its line covers that line; a standalone
+// comment covers the line below it. Malformed directives (missing check or
+// reason) are reported as findings under the "pagoda" pseudo-check so they
+// fail the build instead of silently suppressing nothing.
+func parseSuppressions(fset *token.FileSet, f *ast.File, src []byte, report func(Finding)) []suppression {
+	var out []suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, allowPrefix) {
+				continue
+			}
+			pos := fset.Position(c.Slash)
+			rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+			check, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			if check == "" || reason == "" {
+				report(Finding{Pos: pos, Check: "pagoda",
+					Msg: "malformed suppression: want //pagoda:allow <check> <reason>"})
+				continue
+			}
+			line := pos.Line
+			if standaloneComment(src, pos) {
+				line++ // whole-line comment suppresses the line below
+			}
+			out = append(out, suppression{file: pos.Filename, line: line, check: check, reason: reason})
+		}
+	}
+	return out
+}
+
+// standaloneComment reports whether only whitespace precedes the comment on
+// its line, i.e. it is not a trailing comment after code.
+func standaloneComment(src []byte, pos token.Position) bool {
+	if src == nil {
+		return false
+	}
+	for i := pos.Offset - pos.Column + 1; i < pos.Offset && i < len(src); i++ {
+		if src[i] != ' ' && src[i] != '\t' {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplySuppressions partitions findings into kept and suppressed according to
+// the //pagoda:allow directives in the pass's files. Malformed directives are
+// appended to kept as "pagoda" findings.
+func ApplySuppressions(p *Pass, findings []Finding) (kept, suppressed []Finding) {
+	type key struct {
+		file  string
+		line  int
+		check string
+	}
+	allowed := map[key]bool{}
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		for _, s := range parseSuppressions(p.Fset, f, p.Src[name], func(f Finding) {
+			kept = append(kept, f)
+		}) {
+			allowed[key{s.file, s.line, s.check}] = true
+		}
+	}
+	for _, f := range findings {
+		if allowed[key{f.Pos.Filename, f.Pos.Line, f.Check}] {
+			suppressed = append(suppressed, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	return kept, suppressed
+}
+
+// TypeOf is a nil-tolerant shorthand for Pass.Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// UsedPackage resolves an identifier to the package it names (via an import),
+// or nil if it does not name one. Used to detect selector expressions like
+// time.Now without being fooled by local variables named "time".
+func (p *Pass) UsedPackage(id *ast.Ident) *types.Package {
+	if p.Info == nil {
+		return nil
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported()
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOne parses src as a single-file pass for suppression tests.
+func parseOne(t *testing.T, src string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Pass{
+		Analyzer: &Analyzer{Name: "demo"},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Src:      map[string][]byte{"fix.go": []byte(src)},
+	}
+}
+
+func findingAt(line int, check string) Finding {
+	return Finding{Pos: token.Position{Filename: "fix.go", Line: line}, Check: check, Msg: "m"}
+}
+
+func TestTrailingSuppressionCoversItsOwnLine(t *testing.T) {
+	p := parseOne(t, "package p\n\nvar x = 1 //pagoda:allow demo trailing form\n")
+	kept, sup := ApplySuppressions(p, []Finding{findingAt(3, "demo")})
+	if len(kept) != 0 || len(sup) != 1 {
+		t.Fatalf("kept=%v suppressed=%v, want 0 kept / 1 suppressed", kept, sup)
+	}
+}
+
+func TestStandaloneSuppressionCoversNextLine(t *testing.T) {
+	p := parseOne(t, "package p\n\n//pagoda:allow demo standalone form\nvar x = 1\n")
+	kept, sup := ApplySuppressions(p, []Finding{findingAt(4, "demo")})
+	if len(kept) != 0 || len(sup) != 1 {
+		t.Fatalf("kept=%v suppressed=%v, want 0 kept / 1 suppressed", kept, sup)
+	}
+	// ... and not its own line.
+	kept, sup = ApplySuppressions(p, []Finding{findingAt(3, "demo")})
+	if len(kept) != 1 || len(sup) != 0 {
+		t.Fatalf("kept=%v suppressed=%v, want 1 kept / 0 suppressed", kept, sup)
+	}
+}
+
+func TestSuppressionIsCheckSpecific(t *testing.T) {
+	p := parseOne(t, "package p\n\nvar x = 1 //pagoda:allow other justified elsewhere\n")
+	kept, sup := ApplySuppressions(p, []Finding{findingAt(3, "demo")})
+	if len(kept) != 1 || len(sup) != 0 {
+		t.Fatalf("kept=%v suppressed=%v, want 1 kept / 0 suppressed", kept, sup)
+	}
+}
+
+func TestMalformedSuppressionIsItselfAFinding(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\nvar x = 1 //pagoda:allow\n",      // no check, no reason
+		"package p\n\nvar x = 1 //pagoda:allow demo\n", // no reason
+	} {
+		p := parseOne(t, src)
+		kept, _ := ApplySuppressions(p, nil)
+		if len(kept) != 1 || kept[0].Check != "pagoda" ||
+			!strings.Contains(kept[0].Msg, "malformed suppression") {
+			t.Errorf("src %q: kept = %v, want one [pagoda] malformed-suppression finding", src, kept)
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Pos: token.Position{Filename: "a/b.go", Line: 7}, Check: "wallclock", Msg: "no"}
+	if got, want := f.String(), "a/b.go:7: [wallclock] no"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestLoadSelf exercises the loader end to end on this package's own
+// directory: module discovery, parsing, and type checking with the source
+// importer, all offline.
+func TestLoadSelf(t *testing.T) {
+	pkgs, err := Load(".", []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load(.) = %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "repro/internal/analysis" || p.RelPath != "internal/analysis" {
+		t.Errorf("Path=%q RelPath=%q", p.Path, p.RelPath)
+	}
+	if p.Types == nil || p.Types.Name() != "analysis" {
+		t.Errorf("type-checked package missing or misnamed: %v", p.Types)
+	}
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("loader picked up test file %s", name)
+		}
+	}
+}

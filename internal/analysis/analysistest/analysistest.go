@@ -1,0 +1,131 @@
+// Package analysistest runs one analyzer over a fixture directory and checks
+// its findings against `// want` comments, the same convention as
+// golang.org/x/tools but implemented on the standard library alone.
+//
+// A fixture line expecting a finding carries a trailing comment
+//
+//	x := time.Now() // want `time\.Now reads the wall clock`
+//
+// whose backquoted payload is a regexp matched against "[check] message".
+// Lines without a want comment must produce no finding; in particular a line
+// carrying //pagoda:allow and no want demonstrates suppression.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// Run loads the fixture package in dir, applies a, applies suppressions, and
+// diffs the surviving findings against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pass, err := loadFixture(a, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run(pass)
+	kept, _ := analysis.ApplySuppressions(pass, pass.Findings())
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key]*regexp.Regexp{}
+	matched := map[key]bool{}
+	for name, src := range pass.Src {
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp: %v", name, i+1, err)
+			}
+			wants[key{name, i + 1}] = re
+		}
+	}
+
+	for _, f := range kept {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		re, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		if got := fmt.Sprintf("[%s] %s", f.Check, f.Msg); !re.MatchString(got) {
+			t.Errorf("%s:%d: finding %q does not match want `%s`", f.Pos.Filename, f.Pos.Line, got, re)
+		}
+		matched[k] = true
+	}
+	for k, re := range wants {
+		if !matched[k] {
+			t.Errorf("%s:%d: no finding matched want `%s`", k.file, k.line, re)
+		}
+	}
+}
+
+// loadFixture parses and type-checks every .go file in dir as one package.
+// Fixtures import only the standard library, which the source importer
+// resolves offline.
+func loadFixture(a *analysis.Analyzer, dir string) (*analysis.Pass, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	src := map[string][]byte{}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, path, data, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		src[path] = data
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysistest: no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("fixture", fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: type-checking %s: %v", dir, err)
+	}
+	return &analysis.Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Src:      src,
+		Pkg:      tpkg,
+		Info:     info,
+		RelPath:  "fixture",
+	}, nil
+}

@@ -1,0 +1,77 @@
+package checks_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/checks"
+)
+
+// Each fixture demonstrates at least one true positive (a `// want` line) and
+// one suppressed finding (a //pagoda:allow line with no want), so these tests
+// pin both halves of every analyzer's contract.
+
+func TestWallclock(t *testing.T)  { analysistest.Run(t, checks.Wallclock, "testdata/wallclock") }
+func TestRandsource(t *testing.T) { analysistest.Run(t, checks.Randsource, "testdata/randsource") }
+func TestMaprange(t *testing.T)   { analysistest.Run(t, checks.Maprange, "testdata/maprange") }
+func TestRawgo(t *testing.T)      { analysistest.Run(t, checks.Rawgo, "testdata/rawgo") }
+func TestSyncprim(t *testing.T)   { analysistest.Run(t, checks.Syncprim, "testdata/syncprim") }
+
+// TestScopes pins which packages each analyzer binds to: the wall-clock,
+// RNG and map-order rules cover the eight simulation packages; rawgo covers
+// everything except internal/sim; syncprim covers the simulation packages
+// minus internal/sim itself.
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		rel                                              string
+		wallclock, randsource, maprange, rawgo, syncprim bool
+	}{
+		{"internal/sim", true, true, true, false, false},
+		{"internal/sim/subpkg", true, true, true, false, false},
+		{"internal/gpu", true, true, true, true, true},
+		{"internal/core", true, true, true, true, true},
+		{"internal/runners", true, true, true, true, true},
+		{"internal/harness", false, false, false, true, false},
+		{"internal/trace", false, false, false, true, false},
+		{"cmd/pagodabench", false, false, false, true, false},
+		{"", false, false, false, true, false}, // module root (pagoda.go)
+	}
+	for _, c := range cases {
+		got := map[string]bool{
+			"wallclock":  checks.Wallclock.AppliesTo(c.rel),
+			"randsource": checks.Randsource.AppliesTo(c.rel),
+			"maprange":   checks.Maprange.AppliesTo(c.rel),
+			"rawgo":      checks.Rawgo.AppliesTo(c.rel),
+			"syncprim":   checks.Syncprim.AppliesTo(c.rel),
+		}
+		want := map[string]bool{
+			"wallclock": c.wallclock, "randsource": c.randsource,
+			"maprange": c.maprange, "rawgo": c.rawgo, "syncprim": c.syncprim,
+		}
+		for name := range want {
+			if got[name] != want[name] {
+				t.Errorf("%s.AppliesTo(%q) = %v, want %v", name, c.rel, got[name], want[name])
+			}
+		}
+	}
+}
+
+// TestAllRegistered guards the registry against an analyzer being written but
+// never wired into the driver.
+func TestAllRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range checks.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil || a.AppliesTo == nil {
+			t.Errorf("analyzer %+v incompletely defined", a.Name)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"wallclock", "randsource", "maprange", "rawgo", "syncprim"} {
+		if !names[want] {
+			t.Errorf("analyzer %q missing from All()", want)
+		}
+	}
+}

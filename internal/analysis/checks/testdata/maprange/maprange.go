@@ -1,0 +1,54 @@
+// Fixture for the maprange analyzer: ranging over a map is fine only while
+// the body's effect is independent of iteration order.
+package fixture
+
+type scheduler struct{}
+
+func (scheduler) Schedule(delay float64, fn func()) {}
+func (scheduler) Wakeup()                           {}
+
+func appendsUnderMapRange(live map[string]int) []string {
+	var out []string
+	for name := range live { // want `\[maprange\] range over map with order-dependent body \(append\)`
+		out = append(out, name)
+	}
+	return out
+}
+
+func schedulesUnderMapRange(pending map[int]func(), s scheduler) {
+	for _, fn := range pending { // want `\[maprange\] range over map with order-dependent body \(call to Schedule\)`
+		s.Schedule(0, fn)
+	}
+}
+
+func sendsUnderMapRange(m map[int]int, ch chan<- int) {
+	for _, v := range m { // want `\[maprange\] range over map with order-dependent body \(channel send\)`
+		ch <- v
+	}
+}
+
+func commutativeBodyIsFine(m map[string]int) int {
+	// Summing is order-independent; no finding.
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceRangeIsFine(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v) // slices iterate in order; no finding
+	}
+	return out
+}
+
+func sortedAfterwards(live map[string]int) []string {
+	var out []string
+	//pagoda:allow maprange result is sorted by the caller before use
+	for name := range live {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+// Suppressed half of the randsource fixture: a justified import stays quiet.
+package fixture
+
+import (
+	crand "crypto/rand" //pagoda:allow randsource fixture demonstrates a justified nondeterministic import
+)
+
+func entropy(p []byte) { _, _ = crand.Read(p) }

@@ -1,0 +1,8 @@
+// Fixture for the randsource analyzer: the finding sits on the import line.
+package fixture
+
+import (
+	"math/rand" // want `\[randsource\] import of math/rand in simulation code`
+)
+
+func draw() int { return rand.Int() }

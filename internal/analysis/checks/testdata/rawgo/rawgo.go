@@ -1,0 +1,23 @@
+// Fixture for the rawgo analyzer: any go statement is flagged (the analyzer
+// is only applied outside internal/sim).
+package fixture
+
+func fansOut(work []func()) {
+	for _, w := range work {
+		go w() // want `\[rawgo\] go statement outside internal/sim`
+	}
+}
+
+func anonymous() {
+	go func() {}() // want `\[rawgo\] go statement outside internal/sim`
+}
+
+func sequentialIsFine(work []func()) {
+	for _, w := range work {
+		w()
+	}
+}
+
+func allowed(w func()) {
+	go w() //pagoda:allow rawgo fixture demonstrates a justified goroutine
+}

@@ -1,0 +1,43 @@
+// Fixture for the syncprim analyzer: OS-level blocking primitives are
+// flagged, sim-style state machines are not.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex // want `\[syncprim\] sync\.Mutex blocks in OS-scheduler order`
+	n  int
+}
+
+func waits(wg *sync.WaitGroup) { // want `\[syncprim\] sync\.WaitGroup blocks in OS-scheduler order`
+	wg.Wait()
+}
+
+func makesChannel() {
+	ch := make(chan int, 1) // want `\[syncprim\] channel type in proc code`
+	ch <- 1                 // want `\[syncprim\] raw channel send bypasses the event loop`
+	<-ch                    // want `\[syncprim\] raw channel receive blocks outside virtual time`
+}
+
+func selects(a, b <-chan int) int { // want `\[syncprim\] channel type in proc code`
+	select { // want `\[syncprim\] select races its cases in runtime order`
+	case v := <-a: // want `\[syncprim\] raw channel receive blocks outside virtual time`
+		return v
+	case v := <-b: // want `\[syncprim\] raw channel receive blocks outside virtual time`
+		return v
+	}
+}
+
+func plainStateIsFine() {
+	// Counters and flags mutated under the engine baton need no locking.
+	g := guardedFree{}
+	g.n++
+}
+
+type guardedFree struct{ n int }
+
+func allowedPool() {
+	//pagoda:allow syncprim fixture demonstrates a justified channel
+	ch := make(chan struct{})
+	close(ch)
+}

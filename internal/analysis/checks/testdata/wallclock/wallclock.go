@@ -1,0 +1,46 @@
+// Fixture for the wallclock analyzer: wall-clock reads and waits are flagged,
+// pure time.Duration arithmetic is not, and //pagoda:allow suppresses.
+package fixture
+
+import (
+	"fmt"
+	"time"
+)
+
+func bad() {
+	start := time.Now()   // want `\[wallclock\] time\.Now reads the wall clock`
+	_ = time.Since(start) // want `\[wallclock\] time\.Since reads the wall clock`
+	t := time.NewTimer(0) // want `\[wallclock\] time\.NewTimer reads the wall clock`
+	<-t.C
+	fmt.Println(<-time.After(0)) // want `\[wallclock\] time\.After reads the wall clock`
+}
+
+func sleepIsBadToo() {
+	time.Sleep(0) // want `\[wallclock\] time\.Sleep reads the wall clock`
+}
+
+func valueReference() {
+	// Passing the function as a value is just as nondeterministic as calling it.
+	f := time.Now // want `\[wallclock\] time\.Now reads the wall clock`
+	_ = f
+}
+
+func fine() time.Duration {
+	// Duration arithmetic and construction never observe real time.
+	d := 3 * time.Second
+	return d + time.Millisecond
+}
+
+func allowed() {
+	t0 := time.Now() //pagoda:allow wallclock fixture demonstrates a justified wall-clock read
+	_ = t0
+	//pagoda:allow wallclock standalone comment covers the next line
+	time.Sleep(0)
+}
+
+type shadow struct{ Now func() int }
+
+func notThePackage(time shadow) int {
+	// A local named "time" is not the time package; no finding.
+	return time.Now()
+}

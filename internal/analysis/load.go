@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked non-test package, ready for
+// analyzers.
+type Package struct {
+	Path    string // full import path, e.g. repro/internal/sim
+	RelPath string // module-relative, e.g. internal/sim ("" for the root)
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Src     map[string][]byte
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Load parses and type-checks the packages matched by patterns, rooted at the
+// module containing dir. Patterns follow the go tool's shape: "./..." for the
+// whole module, "./internal/sim" for one directory, "./internal/..." for a
+// subtree. Only non-test files are loaded — the determinism rules apply to
+// simulation code, and tests legitimately use wall clocks and math/rand.
+//
+// Type checking uses the stdlib source importer, so Load needs no compiled
+// export data and works offline on a clean checkout.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	dirSet := map[string]bool{}
+	for _, pat := range patterns {
+		base, recursive := strings.CutSuffix(pat, "/...")
+		if base == "." || base == "" {
+			base = dir
+		} else if !filepath.IsAbs(base) {
+			base = filepath.Join(dir, base)
+		}
+		if !recursive {
+			dirSet[filepath.Clean(base)] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			dirSet[filepath.Clean(p)] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, d := range dirs {
+		pkg, err := loadDir(fset, imp, root, modPath, d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the module
+// root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if p, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(p), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// loadDir parses and type-checks the non-test package in one directory, or
+// returns nil if the directory holds no non-test Go files.
+func loadDir(fset *token.FileSet, imp types.Importer, root, modPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	src := map[string][]byte{}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, path, data, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+		src[path] = data
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	if rel == "." {
+		rel = ""
+	}
+	rel = filepath.ToSlash(rel)
+	importPath := modPath
+	if rel != "" {
+		importPath = modPath + "/" + rel
+	}
+
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	var typeErrs []error
+	conf.Error = func(err error) { typeErrs = append(typeErrs, err) }
+	tpkg, _ := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, typeErrs[0])
+	}
+	return &Package{
+		Path:    importPath,
+		RelPath: rel,
+		Dir:     dir,
+		Fset:    fset,
+		Files:   files,
+		Src:     src,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// NewPass binds an analyzer to a loaded package.
+func NewPass(a *Analyzer, pkg *Package) *Pass {
+	return &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Src:      pkg.Src,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		RelPath:  pkg.RelPath,
+	}
+}

@@ -1,0 +1,105 @@
+package runners
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// tracedRun executes a small fig5-style Pagoda run with tracing enabled and
+// returns the observables a state leak would perturb: the final virtual
+// time, the number of trace spans, and the per-category span counts.
+func tracedRun(t *testing.T, name string, tasks int) (end sim.Time, spans int, byCat map[string]int) {
+	t.Helper()
+	b, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := b.Make(workloads.Options{Tasks: tasks, Threads: 128, Seed: 1})
+
+	sys := newSystem(Config{SMMs: 8})
+	rt := core.NewRuntime(sys.ctx, core.DefaultConfig())
+	tr := trace.New()
+	sys.dev.Trace = tr
+	rt.Trace = tr
+
+	sys.eng.Spawn("host", func(p *sim.Proc) {
+		for i := range defs {
+			td := &defs[i]
+			rt.TaskSpawn(p, core.TaskSpec{
+				Threads:   td.Threads,
+				Blocks:    td.Blocks,
+				SharedMem: td.SharedMem,
+				Sync:      td.Sync,
+				ArgBytes:  td.ArgBytes,
+				Kernel:    func(tc *core.TaskCtx) { td.Kernel(tc) },
+			})
+		}
+		rt.WaitAll(p)
+		rt.Shutdown(p)
+	})
+	end = sys.eng.Run()
+
+	byCat = map[string]int{}
+	for cat, s := range tr.Summary() {
+		byCat[cat] = s.Count
+	}
+	return end, tr.Len(), byCat
+}
+
+// TestDoubleRunDeterminism runs the same small fig5 config twice in one
+// process and requires bit-identical final virtual times and identical trace
+// shapes. The golden test pins run-to-run stability across binaries; this
+// one catches state leaking *between* runs — package-level caches, pool
+// reuse, sync.Once-style init — which a fresh process would mask and the
+// static pagodavet checks cannot see.
+func TestDoubleRunDeterminism(t *testing.T) {
+	for _, name := range []string{"MB", "DCT"} {
+		end1, len1, cat1 := tracedRun(t, name, 64)
+		end2, len2, cat2 := tracedRun(t, name, 64)
+		if end1 != end2 {
+			t.Errorf("%s: final virtual time differs between runs: %x (%v) vs %x (%v)",
+				name, end1, end1, end2, end2)
+		}
+		if len1 != len2 {
+			t.Errorf("%s: trace span count differs between runs: %d vs %d", name, len1, len2)
+		}
+		if len(cat1) != len(cat2) {
+			t.Errorf("%s: trace categories differ: %v vs %v", name, cat1, cat2)
+		}
+		for cat, n := range cat1 {
+			if cat2[cat] != n {
+				t.Errorf("%s: category %q span count differs: %d vs %d", name, cat, n, cat2[cat])
+			}
+		}
+		if len1 == 0 {
+			t.Errorf("%s: traced run produced no spans", name)
+		}
+	}
+}
+
+// TestDoubleRunResultsIdentical runs the public runner entry points twice
+// and requires every reported metric to match bit-for-bit, covering the
+// paths the harness actually sweeps.
+func TestDoubleRunResultsIdentical(t *testing.T) {
+	b, err := workloads.ByName("MB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SMMs = 8
+	opt := workloads.Options{Tasks: 64, Threads: 128, Seed: 1, UseShared: b.SupportsShared}
+	for sys, fn := range map[string]func([]workloads.TaskDef, Config) Result{
+		"pagoda": RunPagoda,
+		"hyperq": RunHyperQ,
+	} {
+		r1 := fn(b.Make(opt), cfg)
+		r2 := fn(b.Make(opt), cfg)
+		if r1 != r2 {
+			t.Errorf("%s: results differ between identical runs:\n  %+v\n  %+v", sys, r1, r2)
+		}
+	}
+}

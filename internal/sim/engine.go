@@ -261,6 +261,7 @@ func (e *Engine) LiveProcs() int { return e.procs }
 // deadlocked; the list is the first thing to print when hunting one.
 func (e *Engine) BlockedProcs() []string {
 	var out []string
+	//pagoda:allow maprange diagnostics-only list, sorted below before it is returned
 	for p := range e.live {
 		if !p.parked || p.dead {
 			continue
