@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint test vet race bench-engine
+.PHONY: check lint test vet race race-harness bench-engine
 
 # check is the pre-merge gate: the determinism analyzers (pagodavet), go vet,
 # race detection across the internal tree, and one pass of the engine
@@ -21,8 +21,16 @@ vet:
 test:
 	$(GO) test ./...
 
+# race covers the whole internal tree, including the parallel experiment
+# sweep (harness's TestAllExperimentsDeterministicAndParallelSafe runs every
+# experiment on a 4-wide cell pool under the race detector).
 race:
 	$(GO) test -race ./internal/...
+
+# race-harness is the focused version of the above for quick iteration on
+# the cell scheduler.
+race-harness:
+	$(GO) test -race -run 'TestAllExperimentsDeterministicAndParallelSafe' ./internal/harness/
 
 bench-engine:
 	$(GO) test -bench=BenchmarkEngine -benchtime=1x -run='^$$' ./internal/sim/ .

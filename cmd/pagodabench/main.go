@@ -3,11 +3,18 @@
 //
 // Usage:
 //
-//	pagodabench -exp fig5            # one experiment
-//	pagodabench -exp all -tasks 8192 # the full evaluation at a given scale
+//	pagodabench -exp fig5             # one experiment
+//	pagodabench -exp fig5,fig6        # a chosen subset
+//	pagodabench -exp all -tasks 8192  # the full evaluation at a given scale
 //
 // The paper's runs use -tasks 32768; the default 2048 preserves every shape
-// at laptop runtimes. Output is aligned text, one block per table/figure.
+// at laptop runtimes. Experiment cells (independent simulations) run on a
+// worker pool sized by -parallel; output is byte-identical at every width.
+//
+// Output is aligned text, one block per table/figure. With -format json a
+// single experiment emits one JSON document and a multi-experiment run emits
+// one JSON array; with -format csv a multi-experiment run emits a single
+// stream with a leading "experiment" column.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/harness"
@@ -29,10 +37,11 @@ func main() {
 func run(out, errw io.Writer, args []string) int {
 	fs := flag.NewFlagSet("pagodabench", flag.ContinueOnError)
 	fs.SetOutput(errw)
-	exp := fs.String("exp", "all", "experiment id: all, "+fmt.Sprint(harness.Experiments()))
+	exp := fs.String("exp", "all", "experiment id(s), comma-separated: all, "+fmt.Sprint(harness.Experiments()))
 	tasks := fs.Int("tasks", 2048, "tasks per benchmark (paper: 32768)")
 	smms := fs.Int("smms", 24, "simulated SMM count (Titan X: 24)")
 	seed := fs.Int64("seed", 1, "workload generation seed")
+	parallel := fs.Int("parallel", 0, "experiment cells run concurrently (0 = all CPUs, 1 = sequential)")
 	format := fs.String("format", "text", "output format: text, csv, json")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
@@ -46,12 +55,15 @@ func run(out, errw io.Writer, args []string) int {
 		return 0
 	}
 
-	p := harness.Params{Tasks: *tasks, SMMs: *smms, Seed: *seed}
+	p := harness.Params{Tasks: *tasks, SMMs: *smms, Seed: *seed, Parallel: *parallel}
 
-	ids := []string{*exp}
+	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = harness.Experiments()
 	}
+	multi := len(ids) > 1
+
+	var reps []*harness.Report
 	for _, id := range ids {
 		start := time.Now()
 		rep, err := harness.Run(id, p)
@@ -60,20 +72,30 @@ func run(out, errw io.Writer, args []string) int {
 			return 2
 		}
 		switch *format {
-		case "csv":
-			if err := rep.WriteCSV(out); err != nil {
-				fmt.Fprintln(errw, err)
-				return 1
-			}
-		case "json":
-			if err := rep.WriteJSON(out); err != nil {
-				fmt.Fprintln(errw, err)
-				return 1
-			}
+		case "csv", "json":
+			// Multi-experiment runs must emit ONE parseable stream, so the
+			// reports are collected and rendered together after the loop.
+			reps = append(reps, rep)
 		default:
 			rep.Fprint(out)
 			fmt.Fprintf(out, "(%s regenerated in %.1fs)\n\n", id, time.Since(start).Seconds())
 		}
+	}
+
+	var err error
+	switch {
+	case *format == "csv" && multi:
+		err = harness.WriteCSVAll(out, reps)
+	case *format == "csv":
+		err = reps[0].WriteCSV(out)
+	case *format == "json" && multi:
+		err = harness.WriteJSONAll(out, reps)
+	case *format == "json":
+		err = reps[0].WriteJSON(out)
+	}
+	if err != nil {
+		fmt.Fprintln(errw, err)
+		return 1
 	}
 	return 0
 }

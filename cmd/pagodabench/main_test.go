@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -30,6 +32,74 @@ func TestRunSmoke(t *testing.T) {
 		if !strings.Contains(out.String(), "OpenMP") {
 			t.Errorf("%s report missing the OpenMP scheme:\n%s", format, out.String())
 		}
+	}
+}
+
+// TestMultiExperimentJSONIsOneDocument pins the -format json fix: a
+// multi-experiment run must emit a single JSON array, not a concatenation of
+// documents no standard parser accepts.
+func TestMultiExperimentJSONIsOneDocument(t *testing.T) {
+	var out, errw strings.Builder
+	code := run(&out, &errw, []string{"-exp", "table3,cpuschemes", "-tasks", "48", "-smms", "4", "-format", "json"})
+	if code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errw.String())
+	}
+	var reps []struct {
+		ID   string     `json:"id"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &reps); err != nil {
+		t.Fatalf("multi-experiment JSON is not one parseable document: %v", err)
+	}
+	if len(reps) != 2 || reps[0].ID != "table3" || reps[1].ID != "cpuschemes" {
+		t.Fatalf("json array = %+v, want table3 then cpuschemes", reps)
+	}
+	if len(reps[0].Rows) == 0 || len(reps[1].Rows) == 0 {
+		t.Fatalf("empty rows in %+v", reps)
+	}
+}
+
+// TestMultiExperimentCSVIsOneStream pins the -format csv companion fix: one
+// stream with a leading "experiment" column, parseable end to end.
+func TestMultiExperimentCSVIsOneStream(t *testing.T) {
+	var out, errw strings.Builder
+	code := run(&out, &errw, []string{"-exp", "table3,cpuschemes", "-tasks", "48", "-smms", "4", "-format", "csv"})
+	if code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errw.String())
+	}
+	rd := csv.NewReader(strings.NewReader(out.String()))
+	rd.FieldsPerRecord = -1 // column sets differ per experiment
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("multi-experiment CSV not parseable: %v", err)
+	}
+	ids := map[string]bool{}
+	for _, rec := range recs {
+		ids[rec[0]] = true
+	}
+	for _, want := range []string{"experiment", "table3", "cpuschemes"} {
+		if !ids[want] {
+			t.Errorf("csv stream missing %q in its experiment column: %v", want, ids)
+		}
+	}
+}
+
+// TestParallelFlagOutputIdentical drives the CLI end to end: -parallel 4
+// must produce byte-identical output to -parallel 1 (csv format, which has
+// no wall-clock timing line).
+func TestParallelFlagOutputIdentical(t *testing.T) {
+	outs := make([]string, 2)
+	for i, par := range []string{"1", "4"} {
+		var out, errw strings.Builder
+		code := run(&out, &errw, []string{"-exp", "table3,cpuschemes", "-tasks", "48", "-smms", "4",
+			"-format", "csv", "-parallel", par})
+		if code != 0 {
+			t.Fatalf("run(-parallel %s) = %d, stderr %q", par, code, errw.String())
+		}
+		outs[i] = out.String()
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("-parallel 4 output differs from -parallel 1:\n--- 1 ---\n%s\n--- 4 ---\n%s", outs[0], outs[1])
 	}
 }
 

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"repro/internal/runners"
+	"repro/internal/workloads"
+)
+
+// A scheme executes one prepared task set under one execution scheme. The
+// runners package entry points (RunPagoda, RunHyperQ, ...) satisfy this
+// directly; seqScheme adapts the config-free sequential baseline.
+type scheme func([]workloads.TaskDef, runners.Config) runners.Result
+
+func seqScheme(tasks []workloads.TaskDef, _ runners.Config) runners.Result {
+	return runners.RunSequential(tasks)
+}
+
+// A sweep is an experiment's declarative cell enumeration. Each cell is one
+// independent simulation — (workload options, scheme) — paired with the
+// result slot it fills. Experiments enqueue every cell first, call run()
+// once, then assemble rows and Values from the slots in declaration order,
+// so the rendered report does not depend on cell execution order.
+type sweep struct {
+	parallel int
+	jobs     []func()
+}
+
+func newSweep(p Params) *sweep { return &sweep{parallel: p.Parallel} }
+
+// cell enqueues one (benchmark, options, scheme) simulation and returns the
+// slot that holds its result after run().
+func (s *sweep) cell(b workloads.Benchmark, opt workloads.Options, cfg runners.Config, run scheme) *runners.Result {
+	return s.cellTasks(func() []workloads.TaskDef { return b.Make(opt) }, cfg, run)
+}
+
+// cellTasks is cell for sweeps that post-process the generated task set
+// (e.g. Fig. 8's launch-geometry reshaping): mk builds the tasks inside the
+// cell so generation cost parallelizes with everything else.
+func (s *sweep) cellTasks(mk func() []workloads.TaskDef, cfg runners.Config, run scheme) *runners.Result {
+	out := new(runners.Result)
+	s.add(func() { *out = run(mk(), cfg) })
+	return out
+}
+
+// add enqueues an arbitrary independent cell; the escape hatch for work that
+// does not fit the TaskDef/Config shape (the hostcpu bake-off). The job must
+// write only to state it owns.
+func (s *sweep) add(job func()) { s.jobs = append(s.jobs, job) }
+
+// run executes every enqueued cell and returns once all result slots are
+// filled.
+func (s *sweep) run() { runCells(s.parallel, s.jobs) }

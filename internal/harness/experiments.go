@@ -14,6 +14,12 @@ type Params struct {
 	Tasks int
 	SMMs  int
 	Seed  int64
+
+	// Parallel is the number of experiment cells (independent simulations)
+	// run concurrently: 0 uses one worker per CPU, 1 runs cells sequentially
+	// in declaration order. Output is byte-identical at every width; see
+	// sched.go.
+	Parallel int
 }
 
 // DefaultParams returns the laptop-scale defaults.
@@ -88,30 +94,43 @@ func Fig5(p Params) *Report {
 	r := newReport("fig5", fmt.Sprintf("Overall performance (speedup over 1-core CPU), %d tasks, 128 threads/task", p.Tasks),
 		"Benchmark", "PThreads", "CUDA-HyperQ", "GeMTC", "Pagoda", "Pagoda/HQ", "Pagoda/GeMTC", "Pagoda/PThr")
 
-	var vsPT, vsHQ, vsGM []float64
+	type fig5Cells struct {
+		name                string
+		seq, pt, pg, hq, gm *runners.Result
+	}
+	s := newSweep(p)
+	var cells []fig5Cells
 	for _, name := range fig5Benchmarks {
 		b, _ := workloads.ByName(name)
 		opt := workloads.Options{Tasks: taskCount(p, name), Threads: 128, Seed: p.Seed, UseShared: b.SupportsShared}
 		cfg := p.runnerCfg()
-
-		seq := runners.RunSequential(b.Make(opt))
-		pt := runners.RunPThreads(b.Make(opt), cfg)
-		pg := runners.RunPagoda(b.Make(opt), cfg)
-
-		hqS, gmS := 0.0, 0.0
-		hqStr, gmStr := "n/a", "n/a"
-		hq := runners.RunHyperQ(b.Make(opt), cfg)
-		hqS = seq.Elapsed / hq.Elapsed
-		hqStr = f2(hqS)
+		c := fig5Cells{
+			name: name,
+			seq:  s.cell(b, opt, cfg, seqScheme),
+			pt:   s.cell(b, opt, cfg, runners.RunPThreads),
+			pg:   s.cell(b, opt, cfg, runners.RunPagoda),
+			hq:   s.cell(b, opt, cfg, runners.RunHyperQ),
+		}
 		if name != "SLUD" { // "We could not implement SLUD in GeMTC"
-			gm := runners.RunGeMTC(b.Make(opt), cfg)
-			gmS = seq.Elapsed / gm.Elapsed
+			c.gm = s.cell(b, opt, cfg, runners.RunGeMTC)
+		}
+		cells = append(cells, c)
+	}
+	s.run()
+
+	var vsPT, vsHQ, vsGM []float64
+	for _, c := range cells {
+		name := c.name
+		seq := *c.seq
+		hqS := seq.Elapsed / c.hq.Elapsed
+		gmS, gmStr := 0.0, "n/a"
+		if c.gm != nil {
+			gmS = seq.Elapsed / c.gm.Elapsed
 			gmStr = f2(gmS)
 		}
-
-		ptS := seq.Elapsed / pt.Elapsed
-		pgS := seq.Elapsed / pg.Elapsed
-		r.addRow(name, f2(ptS), hqStr, gmStr, f2(pgS),
+		ptS := seq.Elapsed / c.pt.Elapsed
+		pgS := seq.Elapsed / c.pg.Elapsed
+		r.addRow(name, f2(ptS), f2(hqS), gmStr, f2(pgS),
 			f2(pgS/hqS), cond(gmS > 0, f2(pgS/gmS), "n/a"), f2(pgS/ptS))
 		r.set(name+"/pthreads", ptS)
 		r.set(name+"/hyperq", hqS)
@@ -146,24 +165,41 @@ func Fig6(p Params) *Report {
 	}
 	r := newReport("fig6", "Weak scaling with number of tasks (execution time, ms)",
 		append([]string{"Benchmark", "Scheme"}, intsToStrings(kept)...)...)
+	type fig6Cells struct {
+		name       string
+		n          int
+		hq, gm, pg *runners.Result
+	}
+	s := newSweep(p)
+	var cells []fig6Cells
 	for _, name := range []string{"MB", "CONV", "DCT", "3DES", "MPE"} {
 		b, _ := workloads.ByName(name)
 		cfg := p.runnerCfg()
-		rows := map[string][]string{"CUDA-HyperQ": nil, "GeMTC": nil, "Pagoda": nil}
 		for _, n := range kept {
 			opt := workloads.Options{Tasks: n, Threads: 128, Seed: p.Seed}
-			hq := runners.RunHyperQ(b.Make(opt), cfg)
-			gm := runners.RunGeMTC(b.Make(opt), cfg)
-			pg := runners.RunPagoda(b.Make(opt), cfg)
-			rows["CUDA-HyperQ"] = append(rows["CUDA-HyperQ"], ms(hq.Elapsed))
-			rows["GeMTC"] = append(rows["GeMTC"], ms(gm.Elapsed))
-			rows["Pagoda"] = append(rows["Pagoda"], ms(pg.Elapsed))
-			r.set(fmt.Sprintf("%s/hyperq/%d", name, n), hq.Elapsed)
-			r.set(fmt.Sprintf("%s/gemtc/%d", name, n), gm.Elapsed)
-			r.set(fmt.Sprintf("%s/pagoda/%d", name, n), pg.Elapsed)
+			cells = append(cells, fig6Cells{
+				name: name, n: n,
+				hq: s.cell(b, opt, cfg, runners.RunHyperQ),
+				gm: s.cell(b, opt, cfg, runners.RunGeMTC),
+				pg: s.cell(b, opt, cfg, runners.RunPagoda),
+			})
 		}
-		for _, scheme := range []string{"CUDA-HyperQ", "GeMTC", "Pagoda"} {
-			r.addRow(append([]string{name, scheme}, rows[scheme]...)...)
+	}
+	s.run()
+
+	rows := map[string][]string{}
+	for _, c := range cells {
+		rows["CUDA-HyperQ"] = append(rows["CUDA-HyperQ"], ms(c.hq.Elapsed))
+		rows["GeMTC"] = append(rows["GeMTC"], ms(c.gm.Elapsed))
+		rows["Pagoda"] = append(rows["Pagoda"], ms(c.pg.Elapsed))
+		r.set(fmt.Sprintf("%s/hyperq/%d", c.name, c.n), c.hq.Elapsed)
+		r.set(fmt.Sprintf("%s/gemtc/%d", c.name, c.n), c.gm.Elapsed)
+		r.set(fmt.Sprintf("%s/pagoda/%d", c.name, c.n), c.pg.Elapsed)
+		if len(rows["Pagoda"]) == len(kept) { // benchmark complete: emit its 3 rows
+			for _, scheme := range []string{"CUDA-HyperQ", "GeMTC", "Pagoda"} {
+				r.addRow(append([]string{c.name, scheme}, rows[scheme]...)...)
+			}
+			rows = map[string][]string{}
 		}
 	}
 	r.note("paper: Pagoda versions run faster than HyperQ and GeMTC beyond 512 tasks")
@@ -180,28 +216,45 @@ func Fig7(p Params) *Report {
 	cfg := p.runnerCfg()
 	cfg.CopyData = false
 
-	var vsHQ128, vsGM128 []float64
-	for _, name := range append([]string{}, "MB", "FB", "BF", "CONV", "DCT", "MM", "3DES", "MPE") {
+	type fig7Cells struct {
+		name       string
+		th         int
+		hq, gm, pg *runners.Result
+	}
+	s := newSweep(p)
+	var cells []fig7Cells
+	for _, name := range []string{"MB", "FB", "BF", "CONV", "DCT", "MM", "3DES", "MPE"} {
 		b, _ := workloads.ByName(name)
-		rows := map[string][]string{"CUDA-HyperQ": nil, "GeMTC": nil, "Pagoda": nil}
 		for _, th := range threadCounts {
 			opt := workloads.Options{Tasks: p.Tasks, Threads: th, Seed: p.Seed}
-			hq := runners.RunHyperQ(b.Make(opt), cfg)
-			gm := runners.RunGeMTC(b.Make(opt), cfg)
-			pg := runners.RunPagoda(b.Make(opt), cfg)
-			rows["CUDA-HyperQ"] = append(rows["CUDA-HyperQ"], ms(hq.Elapsed))
-			rows["GeMTC"] = append(rows["GeMTC"], ms(gm.Elapsed))
-			rows["Pagoda"] = append(rows["Pagoda"], ms(pg.Elapsed))
-			r.set(fmt.Sprintf("%s/hyperq/%d", name, th), hq.Elapsed)
-			r.set(fmt.Sprintf("%s/gemtc/%d", name, th), gm.Elapsed)
-			r.set(fmt.Sprintf("%s/pagoda/%d", name, th), pg.Elapsed)
-			if th == 128 {
-				vsHQ128 = append(vsHQ128, hq.Elapsed/pg.Elapsed)
-				vsGM128 = append(vsGM128, gm.Elapsed/pg.Elapsed)
-			}
+			cells = append(cells, fig7Cells{
+				name: name, th: th,
+				hq: s.cell(b, opt, cfg, runners.RunHyperQ),
+				gm: s.cell(b, opt, cfg, runners.RunGeMTC),
+				pg: s.cell(b, opt, cfg, runners.RunPagoda),
+			})
 		}
-		for _, scheme := range []string{"CUDA-HyperQ", "GeMTC", "Pagoda"} {
-			r.addRow(append([]string{name, scheme}, rows[scheme]...)...)
+	}
+	s.run()
+
+	var vsHQ128, vsGM128 []float64
+	rows := map[string][]string{}
+	for _, c := range cells {
+		rows["CUDA-HyperQ"] = append(rows["CUDA-HyperQ"], ms(c.hq.Elapsed))
+		rows["GeMTC"] = append(rows["GeMTC"], ms(c.gm.Elapsed))
+		rows["Pagoda"] = append(rows["Pagoda"], ms(c.pg.Elapsed))
+		r.set(fmt.Sprintf("%s/hyperq/%d", c.name, c.th), c.hq.Elapsed)
+		r.set(fmt.Sprintf("%s/gemtc/%d", c.name, c.th), c.gm.Elapsed)
+		r.set(fmt.Sprintf("%s/pagoda/%d", c.name, c.th), c.pg.Elapsed)
+		if c.th == 128 {
+			vsHQ128 = append(vsHQ128, c.hq.Elapsed/c.pg.Elapsed)
+			vsGM128 = append(vsGM128, c.gm.Elapsed/c.pg.Elapsed)
+		}
+		if len(rows["Pagoda"]) == len(threadCounts) { // benchmark complete
+			for _, scheme := range []string{"CUDA-HyperQ", "GeMTC", "Pagoda"} {
+				r.addRow(append([]string{c.name, scheme}, rows[scheme]...)...)
+			}
+			rows = map[string][]string{}
 		}
 	}
 	r.set("geomean128/pagoda-vs-hyperq", geomean(vsHQ128))

@@ -26,25 +26,41 @@ func Fig8(p Params) *Report {
 	cfg := p.runnerCfg()
 	cfg.CopyData = false
 
+	type fig8Cells struct {
+		name   string
+		tt, is int
+		pg, hq *runners.Result
+	}
+	s := newSweep(p)
+	var cells []fig8Cells
 	for _, name := range []string{"MM", "CONV"} {
 		b, _ := workloads.ByName(name)
 		for _, tt := range totalThreads {
-			var cells []string
 			for _, is := range inputSizes {
 				opt := workloads.Options{Tasks: p.Tasks, Seed: p.Seed, InputSize: is}
-				tasks := b.Make(opt)
-				shapeTasks(tasks, tt)
-				pg := runners.RunPagoda(tasks, cfg)
-
-				tasks = b.Make(opt)
-				shapeTasks(tasks, tt)
-				hq := runners.RunHyperQ(tasks, cfg)
-
-				sp := hq.Elapsed / pg.Elapsed
-				cells = append(cells, f2(sp))
-				r.set(fmt.Sprintf("%s/%d/%d", name, tt, is), sp)
+				mk := func() []workloads.TaskDef {
+					tasks := b.Make(opt)
+					shapeTasks(tasks, tt)
+					return tasks
+				}
+				cells = append(cells, fig8Cells{
+					name: name, tt: tt, is: is,
+					pg: s.cellTasks(mk, cfg, runners.RunPagoda),
+					hq: s.cellTasks(mk, cfg, runners.RunHyperQ),
+				})
 			}
-			r.addRow(append([]string{name, fmt.Sprint(tt)}, cells...)...)
+		}
+	}
+	s.run()
+
+	var row []string
+	for _, c := range cells {
+		sp := c.hq.Elapsed / c.pg.Elapsed
+		row = append(row, f2(sp))
+		r.set(fmt.Sprintf("%s/%d/%d", c.name, c.tt, c.is), sp)
+		if len(row) == len(inputSizes) { // (benchmark, threads) row complete
+			r.addRow(append([]string{c.name, fmt.Sprint(c.tt)}, row...)...)
+			row = nil
 		}
 	}
 	r.note("paper: Pagoda wins at small thread counts for all input sizes; benefits diminish past 512 threads, with warp-level scheduling winning again at very large thread counts")
@@ -75,20 +91,34 @@ func Fig9(p Params) *Report {
 		"Benchmark", "StaticFusion", "PThreads", "CUDA-HyperQ", "Pagoda", "Pagoda/Fusion")
 	cfg := p.runnerCfg()
 
-	var vsFusion []float64
+	type fig9Cells struct {
+		name                string
+		seq, fu, pt, hq, pg *runners.Result
+	}
+	s := newSweep(p)
+	var cells []fig9Cells
 	for _, name := range []string{"MB", "CONV", "DCT", "FB", "BF", "MM", "3DES", "MPE"} {
 		b, _ := workloads.ByName(name)
 		opt := workloads.Options{Tasks: p.Tasks, Irregular: true, Seed: p.Seed}
-		seq := runners.RunSequential(b.Make(opt))
-		fu := runners.RunFusion(b.Make(opt), cfg)
-		pt := runners.RunPThreads(b.Make(opt), cfg)
-		hq := runners.RunHyperQ(b.Make(opt), cfg)
-		pg := runners.RunPagoda(b.Make(opt), cfg)
+		cells = append(cells, fig9Cells{
+			name: name,
+			seq:  s.cell(b, opt, cfg, seqScheme),
+			fu:   s.cell(b, opt, cfg, runners.RunFusion),
+			pt:   s.cell(b, opt, cfg, runners.RunPThreads),
+			hq:   s.cell(b, opt, cfg, runners.RunHyperQ),
+			pg:   s.cell(b, opt, cfg, runners.RunPagoda),
+		})
+	}
+	s.run()
 
-		fuS := seq.Elapsed / fu.Elapsed
-		ptS := seq.Elapsed / pt.Elapsed
-		hqS := seq.Elapsed / hq.Elapsed
-		pgS := seq.Elapsed / pg.Elapsed
+	var vsFusion []float64
+	for _, c := range cells {
+		name := c.name
+		seq := *c.seq
+		fuS := seq.Elapsed / c.fu.Elapsed
+		ptS := seq.Elapsed / c.pt.Elapsed
+		hqS := seq.Elapsed / c.hq.Elapsed
+		pgS := seq.Elapsed / c.pg.Elapsed
 		r.addRow(name, f2(fuS), f2(ptS), f2(hqS), f2(pgS), f2(pgS/fuS))
 		r.set(name+"/fusion", fuS)
 		r.set(name+"/pthreads", ptS)
@@ -116,20 +146,37 @@ func Fig10(p Params) *Report {
 		append([]string{"Series"}, intsToStrings(kept)...)...)
 	cfg := p.runnerCfg()
 
+	type fig10Cells struct {
+		name   string
+		n      int
+		fu, pg *runners.Result
+	}
+	s := newSweep(p)
+	var cells []fig10Cells
 	for _, name := range []string{"3DES", "MM"} {
 		b, _ := workloads.ByName(name)
-		var fusedRow, pagodaRow []string
 		for _, n := range kept {
 			opt := workloads.Options{Tasks: n, Threads: 128, Seed: p.Seed}
-			fu := runners.RunFusion(b.Make(opt), cfg)
-			pg := runners.RunPagoda(b.Make(opt), cfg)
-			fusedRow = append(fusedRow, us(fu.AvgLatency))
-			pagodaRow = append(pagodaRow, us(pg.AvgLatency))
-			r.set(fmt.Sprintf("fused-%s/%d", name, n), fu.AvgLatency)
-			r.set(fmt.Sprintf("pagoda-%s/%d", name, n), pg.AvgLatency)
+			cells = append(cells, fig10Cells{
+				name: name, n: n,
+				fu: s.cell(b, opt, cfg, runners.RunFusion),
+				pg: s.cell(b, opt, cfg, runners.RunPagoda),
+			})
 		}
-		r.addRow(append([]string{"Fused " + name}, fusedRow...)...)
-		r.addRow(append([]string{"Pagoda " + name}, pagodaRow...)...)
+	}
+	s.run()
+
+	var fusedRow, pagodaRow []string
+	for _, c := range cells {
+		fusedRow = append(fusedRow, us(c.fu.AvgLatency))
+		pagodaRow = append(pagodaRow, us(c.pg.AvgLatency))
+		r.set(fmt.Sprintf("fused-%s/%d", c.name, c.n), c.fu.AvgLatency)
+		r.set(fmt.Sprintf("pagoda-%s/%d", c.name, c.n), c.pg.AvgLatency)
+		if len(fusedRow) == len(kept) { // benchmark complete
+			r.addRow(append([]string{"Fused " + c.name}, fusedRow...)...)
+			r.addRow(append([]string{"Pagoda " + c.name}, pagodaRow...)...)
+			fusedRow, pagodaRow = nil, nil
+		}
 	}
 	r.note("paper: fused latency grows with task count; Pagoda latency stays flat")
 	return r
@@ -142,19 +189,31 @@ func Fig11(p Params) *Report {
 	p = p.fill()
 	r := newReport("fig11", fmt.Sprintf("Continuous spawning + pipelining ablation (speedup over GeMTC, %d tasks, 128 thr)", p.Tasks),
 		"Benchmark", "GeMTC", "Pagoda-Batching", "Pagoda")
+	type fig11Cells struct {
+		name       string
+		gm, pb, pg *runners.Result
+	}
+	s := newSweep(p)
+	var cells []fig11Cells
 	for _, name := range []string{"MB", "CONV", "FB", "BF", "3DES", "DCT", "MM", "MPE"} {
 		b, _ := workloads.ByName(name)
 		opt := workloads.Options{Tasks: p.Tasks, Threads: 128, Seed: p.Seed}
 		cfg := p.runnerCfg()
-		gm := runners.RunGeMTC(b.Make(opt), cfg)
 		cfgB := cfg
 		cfgB.PagodaBatching = true
-		pb := runners.RunPagoda(b.Make(opt), cfgB)
-		pg := runners.RunPagoda(b.Make(opt), cfg)
+		cells = append(cells, fig11Cells{
+			name: name,
+			gm:   s.cell(b, opt, cfg, runners.RunGeMTC),
+			pb:   s.cell(b, opt, cfgB, runners.RunPagoda),
+			pg:   s.cell(b, opt, cfg, runners.RunPagoda),
+		})
+	}
+	s.run()
 
-		r.addRow(name, "1.00", f2(gm.Elapsed/pb.Elapsed), f2(gm.Elapsed/pg.Elapsed))
-		r.set(name+"/batching", gm.Elapsed/pb.Elapsed)
-		r.set(name+"/pagoda", gm.Elapsed/pg.Elapsed)
+	for _, c := range cells {
+		r.addRow(c.name, "1.00", f2(c.gm.Elapsed/c.pb.Elapsed), f2(c.gm.Elapsed/c.pg.Elapsed))
+		r.set(c.name+"/batching", c.gm.Elapsed/c.pb.Elapsed)
+		r.set(c.name+"/pagoda", c.gm.Elapsed/c.pg.Elapsed)
 	}
 	r.note("Pagoda-Batching isolates concurrent task scheduling; the Pagoda-vs-Batching gap is the benefit of continuous, pipelined spawning")
 	return r
@@ -168,24 +227,34 @@ func Table3(p Params) *Report {
 		"Benchmark", "%Copy", "%Compute", "Paper %Copy")
 	paperCopy := map[string]int{"MB": 24, "FB": 35, "BF": 13, "CONV": 30, "DCT": 81, "MM": 51, "SLUD": 3, "3DES": 74}
 	cfg := p.runnerCfg()
+	cfgNC := cfg
+	cfgNC.CopyData = false
+	type table3Cells struct {
+		name          string
+		with, without *runners.Result
+	}
+	s := newSweep(p)
+	var cells []table3Cells
 	for _, name := range []string{"MB", "FB", "BF", "CONV", "DCT", "MM", "SLUD", "3DES"} {
 		b, _ := workloads.ByName(name)
-		n := p.Tasks
-		if name == "SLUD" {
-			n = p.Tasks // keep SLUD at base scale for this table
-		}
-		opt := workloads.Options{Tasks: n, Threads: 128, Seed: p.Seed}
-		with := runners.RunHyperQ(b.Make(opt), cfg)
-		cfgNC := cfg
-		cfgNC.CopyData = false
-		without := runners.RunHyperQ(b.Make(opt), cfgNC)
-		copyFrac := 1 - without.Elapsed/with.Elapsed
+		// SLUD stays at base scale for this table (no 273/32 scaling).
+		opt := workloads.Options{Tasks: p.Tasks, Threads: 128, Seed: p.Seed}
+		cells = append(cells, table3Cells{
+			name:    name,
+			with:    s.cell(b, opt, cfg, runners.RunHyperQ),
+			without: s.cell(b, opt, cfgNC, runners.RunHyperQ),
+		})
+	}
+	s.run()
+
+	for _, c := range cells {
+		copyFrac := 1 - c.without.Elapsed/c.with.Elapsed
 		if copyFrac < 0 {
 			copyFrac = 0
 		}
-		r.addRow(name, fmt.Sprintf("%.0f", copyFrac*100), fmt.Sprintf("%.0f", (1-copyFrac)*100),
-			fmt.Sprint(paperCopy[name]))
-		r.set(name+"/copyfrac", copyFrac)
+		r.addRow(c.name, fmt.Sprintf("%.0f", copyFrac*100), fmt.Sprintf("%.0f", (1-copyFrac)*100),
+			fmt.Sprint(paperCopy[c.name]))
+		r.set(c.name+"/copyfrac", copyFrac)
 	}
 	return r
 }
@@ -199,26 +268,41 @@ func Table5(p Params) *Report {
 		"Benchmark", "SpeedupWithSM", "OccWithSM", "SpeedupNoSM", "OccNoSM")
 	cfg := p.runnerCfg()
 	cfg.CopyData = false
+	type table5Cells struct {
+		name             string
+		hq, withSM, noSM *runners.Result
+	}
+	s := newSweep(p)
+	var cells []table5Cells
 	for _, tc := range []struct {
 		name    string
 		threads int
 	}{{"DCT", 64}, {"MM", 256}} {
 		b, _ := workloads.ByName(tc.name)
-		mk := func(useShared bool) []workloads.TaskDef {
-			return b.Make(workloads.Options{Tasks: p.Tasks, Threads: tc.threads, Seed: p.Seed, UseShared: useShared})
+		threads := tc.threads
+		mk := func(useShared bool) func() []workloads.TaskDef {
+			return func() []workloads.TaskDef {
+				return b.Make(workloads.Options{Tasks: p.Tasks, Threads: threads, Seed: p.Seed, UseShared: useShared})
+			}
 		}
-		hq := runners.RunHyperQ(mk(true), cfg)
-		withSM := runners.RunPagoda(mk(true), cfg)
-		noSM := runners.RunPagoda(mk(false), cfg)
+		cells = append(cells, table5Cells{
+			name:   tc.name,
+			hq:     s.cellTasks(mk(true), cfg, runners.RunHyperQ),
+			withSM: s.cellTasks(mk(true), cfg, runners.RunPagoda),
+			noSM:   s.cellTasks(mk(false), cfg, runners.RunPagoda),
+		})
+	}
+	s.run()
 
-		spWith := hq.Elapsed / withSM.Elapsed
-		spNo := hq.Elapsed / noSM.Elapsed
-		r.addRow(tc.name, f2(spWith), fmt.Sprintf("%.0f%%", withSM.Occupancy*100),
-			f2(spNo), fmt.Sprintf("%.0f%%", noSM.Occupancy*100))
-		r.set(tc.name+"/speedup-sm", spWith)
-		r.set(tc.name+"/speedup-nosm", spNo)
-		r.set(tc.name+"/occ-sm", withSM.Occupancy)
-		r.set(tc.name+"/occ-nosm", noSM.Occupancy)
+	for _, c := range cells {
+		spWith := c.hq.Elapsed / c.withSM.Elapsed
+		spNo := c.hq.Elapsed / c.noSM.Elapsed
+		r.addRow(c.name, f2(spWith), fmt.Sprintf("%.0f%%", c.withSM.Occupancy*100),
+			f2(spNo), fmt.Sprintf("%.0f%%", c.noSM.Occupancy*100))
+		r.set(c.name+"/speedup-sm", spWith)
+		r.set(c.name+"/speedup-nosm", spNo)
+		r.set(c.name+"/occ-sm", c.withSM.Occupancy)
+		r.set(c.name+"/occ-nosm", c.noSM.Occupancy)
 	}
 	r.note("paper: DCT 1.35x/25%% occ with SM vs 1.25x/97%% without; MM 1.51x/97%% vs 1.20x/97%%")
 	return r

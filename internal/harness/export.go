@@ -22,6 +22,26 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// WriteCSVAll renders several reports as one CSV stream with a leading
+// "experiment" column. Each report contributes its own header row (the
+// column sets differ per experiment), so parse with FieldsPerRecord
+// disabled; rows group by the first column.
+func WriteCSVAll(w io.Writer, reps []*Report) error {
+	cw := csv.NewWriter(w)
+	for _, r := range reps {
+		if err := cw.Write(append([]string{"experiment"}, r.Header...)); err != nil {
+			return err
+		}
+		for _, row := range r.Rows {
+			if err := cw.Write(append([]string{r.ID}, row...)); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // jsonReport is the machine-readable schema.
 type jsonReport struct {
 	ID     string             `json:"id"`
@@ -33,16 +53,13 @@ type jsonReport struct {
 	Keys   []string           `json:"keys"` // sorted, for stable diffs
 }
 
-// WriteJSON renders the report, including the raw recorded values, as JSON.
-func (r *Report) WriteJSON(w io.Writer) error {
+func (r *Report) jsonDoc() jsonReport {
 	keys := make([]string, 0, len(r.Values))
 	for k := range r.Values {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(jsonReport{
+	return jsonReport{
 		ID:     r.ID,
 		Title:  r.Title,
 		Header: r.Header,
@@ -50,5 +67,25 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		Notes:  r.Notes,
 		Values: r.Values,
 		Keys:   keys,
-	})
+	}
+}
+
+// WriteJSON renders the report, including the raw recorded values, as JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.jsonDoc())
+}
+
+// WriteJSONAll renders several reports as a single JSON array — one document
+// a standard parser accepts, unlike the concatenated-object stream a
+// per-report WriteJSON loop produces.
+func WriteJSONAll(w io.Writer, reps []*Report) error {
+	docs := make([]jsonReport, len(reps))
+	for i, r := range reps {
+		docs[i] = r.jsonDoc()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(docs)
 }

@@ -34,6 +34,52 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+func TestWriteCSVAll(t *testing.T) {
+	r2 := newReport("figY", "Second", "Benchmark", "Time", "Extra")
+	r2.addRow("MB", "0.10", "x")
+	var buf bytes.Buffer
+	if err := WriteCSVAll(&buf, []*Report{sampleReport(), r2}); err != nil {
+		t.Fatal(err)
+	}
+	rd := csv.NewReader(&buf)
+	rd.FieldsPerRecord = -1 // column sets differ per experiment
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("multi-report CSV not parseable: %v", err)
+	}
+	if len(recs) != 5 { // 2 headers + 2 rows + 1 row
+		t.Fatalf("csv records = %d, want 5: %v", len(recs), recs)
+	}
+	if recs[0][0] != "experiment" || recs[1][0] != "figX" || recs[4][0] != "figY" {
+		t.Fatalf("experiment column wrong: %v", recs)
+	}
+	if recs[4][1] != "MB" || recs[4][3] != "x" {
+		t.Fatalf("figY row wrong: %v", recs[4])
+	}
+}
+
+func TestWriteJSONAll(t *testing.T) {
+	r2 := newReport("figY", "Second", "Benchmark")
+	r2.addRow("MM")
+	var buf bytes.Buffer
+	if err := WriteJSONAll(&buf, []*Report{sampleReport(), r2}); err != nil {
+		t.Fatal(err)
+	}
+	var got []struct {
+		ID   string     `json:"id"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("multi-report JSON is not one parseable document: %v", err)
+	}
+	if len(got) != 2 || got[0].ID != "figX" || got[1].ID != "figY" {
+		t.Fatalf("json array wrong: %+v", got)
+	}
+	if len(got[0].Rows) != 2 || got[1].Rows[0][0] != "MM" {
+		t.Fatalf("rows wrong: %+v", got)
+	}
+}
+
 func TestWriteJSON(t *testing.T) {
 	var buf bytes.Buffer
 	if err := sampleReport().WriteJSON(&buf); err != nil {

@@ -1,9 +1,22 @@
 package harness
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
+
+// mustGet returns the recorded value for key, failing the test if the key was
+// never set — Get's 0-for-missing would otherwise turn a typo'd key into a
+// bogus 0 or NaN ratio.
+func mustGet(t *testing.T, r *Report, key string) float64 {
+	t.Helper()
+	v, ok := r.Lookup(key)
+	if !ok {
+		t.Fatalf("%s: value %q was never recorded (have %d keys)", r.ID, key, len(r.Values))
+	}
+	return v
+}
 
 // testParams keeps harness runs quick while preserving shapes.
 func testParams() Params { return Params{Tasks: 192, SMMs: 8, Seed: 1} }
@@ -12,12 +25,22 @@ func TestGeomean(t *testing.T) {
 	if g := geomean([]float64{2, 8}); g != 4 {
 		t.Fatalf("geomean(2,8) = %v, want 4", g)
 	}
-	if g := geomean(nil); g != 0 {
-		t.Fatalf("geomean(nil) = %v, want 0", g)
-	}
-	if g := geomean([]float64{1, -1}); g != 0 {
-		t.Fatalf("geomean with nonpositive = %v, want 0", g)
-	}
+	// Non-positive inputs and empty series mean a broken run; they must fail
+	// loudly instead of silently zeroing a published headline.
+	wantPanic(t, "geomean(nil)", func() { geomean(nil) })
+	wantPanic(t, "geomean(1,-1)", func() { geomean([]float64{1, -1}) })
+	wantPanic(t, "geomean(0)", func() { geomean([]float64{0}) })
+	wantPanic(t, "geomean(NaN)", func() { geomean([]float64{math.NaN()}) })
+}
+
+func wantPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
@@ -55,13 +78,13 @@ func TestFig5Shape(t *testing.T) {
 	if len(r.Rows) != len(fig5Benchmarks) {
 		t.Fatalf("fig5 rows = %d, want %d", len(r.Rows), len(fig5Benchmarks))
 	}
-	if g := r.Get("geomean/pagoda-vs-hyperq"); g <= 1.0 {
+	if g := mustGet(t, r, "geomean/pagoda-vs-hyperq"); g <= 1.0 {
 		t.Errorf("Pagoda vs HyperQ geomean = %.2f, want > 1 (paper: 1.51)", g)
 	}
-	if g := r.Get("geomean/pagoda-vs-pthreads"); g <= 1.0 {
+	if g := mustGet(t, r, "geomean/pagoda-vs-pthreads"); g <= 1.0 {
 		t.Errorf("Pagoda vs PThreads geomean = %.2f, want > 1 (paper: 5.70)", g)
 	}
-	if g := r.Get("geomean/pagoda-vs-gemtc"); g <= 1.0 {
+	if g := mustGet(t, r, "geomean/pagoda-vs-gemtc"); g <= 1.0 {
 		t.Errorf("Pagoda vs GeMTC geomean = %.2f, want > 1 (paper: 1.69)", g)
 	}
 }
@@ -74,13 +97,13 @@ func TestFig10Shape(t *testing.T) {
 	r := Fig10(p)
 	// Fused latency grows with task count; Pagoda stays far flatter.
 	for _, name := range []string{"3DES", "MM"} {
-		lo := r.Get("fused-" + name + "/128")
-		hi := r.Get("fused-" + name + "/512")
+		lo := mustGet(t, r, "fused-"+name+"/128")
+		hi := mustGet(t, r, "fused-"+name+"/512")
 		if hi <= lo {
 			t.Errorf("%s fused latency flat: %v -> %v", name, lo, hi)
 		}
-		pgLo := r.Get("pagoda-" + name + "/128")
-		pgHi := r.Get("pagoda-" + name + "/512")
+		pgLo := mustGet(t, r, "pagoda-"+name+"/128")
+		pgHi := mustGet(t, r, "pagoda-"+name+"/512")
 		if pgHi/pgLo > (hi/lo)*0.9 {
 			t.Errorf("%s Pagoda latency grew as fast as fusion: pagoda %.1fx vs fused %.1fx",
 				name, pgHi/pgLo, hi/lo)
@@ -97,8 +120,8 @@ func TestTable5Shape(t *testing.T) {
 	p := Params{Tasks: 1024, SMMs: 2, Seed: 1}
 	r := Table5(p)
 	for _, name := range []string{"DCT", "MM"} {
-		withSM := r.Get(name + "/speedup-sm")
-		noSM := r.Get(name + "/speedup-nosm")
+		withSM := mustGet(t, r, name+"/speedup-sm")
+		noSM := mustGet(t, r, name+"/speedup-nosm")
 		if withSM <= 0 || noSM <= 0 {
 			t.Fatalf("%s missing speedups: %v %v", name, withSM, noSM)
 		}
@@ -120,7 +143,7 @@ func TestFig11Shape(t *testing.T) {
 	// Pagoda outperforms GeMTC in all cases (paper).
 	for _, row := range r.Rows {
 		name := row[0]
-		if v := r.Get(name + "/pagoda"); v <= 1.0 {
+		if v := mustGet(t, r, name+"/pagoda"); v <= 1.0 {
 			t.Errorf("%s: Pagoda (%.2f) not above GeMTC", name, v)
 		}
 	}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderAll renders a report in every supported encoding; any nondeterminism
+// in rows, Values or notes shows up as a byte difference.
+func renderAll(t *testing.T, r *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAllExperimentsDeterministicAndParallelSafe runs EVERY experiment ID
+// three times — twice with the sequential cell order (Parallel=1) and once on
+// a 4-wide worker pool — and requires byte-identical rendered output across
+// all three. The double run catches state leaking between runs (extending
+// runners' TestDoubleRunDeterminism to the whole harness); the parallel run
+// is the committed guarantee that the cell scheduler never changes results.
+// Under `go test -race` (make check) this is also the data-race probe for
+// the parallel sweep path.
+func TestAllExperimentsDeterministicAndParallelSafe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep")
+	}
+	for _, id := range Experiments() {
+		t.Run(id, func(t *testing.T) {
+			p := Params{Tasks: 48, SMMs: 4, Seed: 1, Parallel: 1}
+			run := func(p Params) []byte {
+				rep, err := Run(id, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return renderAll(t, rep)
+			}
+			seq1 := run(p)
+			seq2 := run(p)
+			p.Parallel = 4
+			par := run(p)
+			if !bytes.Equal(seq1, seq2) {
+				t.Errorf("%s: double sequential run differs (state leaks between runs)", id)
+			}
+			if !bytes.Equal(seq1, par) {
+				t.Errorf("%s: parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					id, seq1, par)
+			}
+		})
+	}
+}

@@ -36,30 +36,42 @@ func (r *Report) note(format string, args ...any) {
 
 func (r *Report) set(key string, v float64) { r.Values[key] = v }
 
-// Get returns a recorded value (0 when missing).
+// Get returns a recorded value (0 when missing). Prefer Lookup anywhere a
+// missing key must be distinguishable from a recorded zero — a typo'd key
+// here silently reads as 0.
 func (r *Report) Get(key string) float64 { return r.Values[key] }
+
+// Lookup returns a recorded value and whether the key exists.
+func (r *Report) Lookup(key string) (float64, bool) {
+	v, ok := r.Values[key]
+	return v, ok
+}
 
 // Fprint renders the report as an aligned text table.
 func (r *Report) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s ==\n", strings.ToUpper(r.ID), r.Title)
-	widths := make([]int, len(r.Header))
+	// Size columns over the header AND every row: rows may be wider than the
+	// header (and would otherwise print misaligned).
+	cols := len(r.Header)
+	for _, row := range r.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range r.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range r.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
 	}
 	line := func(cells []string) {
 		for i, c := range cells {
-			if i < len(widths) {
-				fmt.Fprintf(w, "%-*s  ", widths[i], c)
-			} else {
-				fmt.Fprint(w, c, "  ")
-			}
+			fmt.Fprintf(w, "%-*s  ", widths[i], c)
 		}
 		fmt.Fprintln(w)
 	}
@@ -78,15 +90,18 @@ func (r *Report) Fprint(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// geomean returns the geometric mean of positive values.
+// geomean returns the geometric mean of vs. Every input must be positive and
+// finite: a zero, negative, NaN or infinite speedup means some run produced a
+// nonsensical time, and the old behavior of returning 0 silently zeroed the
+// published headline instead of surfacing the broken cell — so it panics.
 func geomean(vs []float64) float64 {
 	if len(vs) == 0 {
-		return 0
+		panic("harness: geomean of an empty series (broken sweep)")
 	}
 	sum := 0.0
 	for _, v := range vs {
-		if v <= 0 {
-			return 0
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("harness: geomean input %v is not a positive finite speedup (broken run)", v))
 		}
 		sum += math.Log(v)
 	}

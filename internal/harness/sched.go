@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runCells executes the sweep's cells with the requested parallelism.
+//
+// Every cell is a whole, self-contained simulation — it builds its own task
+// set, engine, device and bus, and writes only to its own result slot — so
+// cells may run in any order or concurrently without changing any result.
+// parallel <= 0 uses one worker per available CPU; parallel == 1 runs the
+// cells in declaration order on the calling goroutine, which is exactly the
+// execution order the pre-cell harness used.
+//
+// Determinism: the scheduler only changes *when* a cell runs, never what it
+// computes, and report assembly happens after run() in declaration order, so
+// rendered output is byte-identical at every width (asserted by
+// TestAllExperimentsDeterministicAndParallelSafe).
+func runCells(parallel int, jobs []func()) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(jobs) {
+		parallel = len(jobs)
+	}
+	if parallel <= 1 {
+		for _, job := range jobs {
+			job()
+		}
+		return
+	}
+	// Workers pull the next undone cell index from an atomic cursor. The
+	// goroutines here never touch engine state across cells: each cell owns a
+	// private sim stack (see internal/runners.newSystem), and the packages
+	// under it hold no package-level mutable state (audited for this
+	// scheduler; guarded by `make race` over the parallel sweep).
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() { //pagoda:allow rawgo harness cells are independent whole simulations outside any engine's virtual time; the pool joins before assembly
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				jobs[i]()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -36,7 +36,7 @@ func TestFig7Structure(t *testing.T) {
 	}
 	// Work per task constant across thread counts: times comparable (same
 	// order of magnitude) between 32 and 512 threads for a regular load.
-	lo, hi := r.Get("CONV/pagoda/32"), r.Get("CONV/pagoda/512")
+	lo, hi := mustGet(t, r, "CONV/pagoda/32"), mustGet(t, r, "CONV/pagoda/512")
 	if lo <= 0 || hi <= 0 {
 		t.Fatalf("fig7 CONV series missing: %v %v", lo, hi)
 	}
@@ -92,20 +92,21 @@ func TestTable3Structure(t *testing.T) {
 	}
 	for _, row := range r.Rows {
 		name := row[0]
-		f := r.Get(name + "/copyfrac")
+		// copyfrac may legitimately be 0 (fully compute-bound), so a missing
+		// key is only distinguishable through Lookup.
+		f := mustGet(t, r, name+"/copyfrac")
 		if f < 0 || f > 1 {
 			t.Errorf("table3 %s copy fraction out of range: %v", name, f)
 		}
 	}
 	// Directional check at any scale: DCT is the most copy-bound workload,
 	// SLUD and MB the least (Table 3: 81% vs 3%/24%).
-	if r.Get("DCT/copyfrac") <= r.Get("SLUD/copyfrac") {
-		t.Errorf("table3: DCT copy share (%v) should exceed SLUD's (%v)",
-			r.Get("DCT/copyfrac"), r.Get("SLUD/copyfrac"))
+	dct, slud, mb := mustGet(t, r, "DCT/copyfrac"), mustGet(t, r, "SLUD/copyfrac"), mustGet(t, r, "MB/copyfrac")
+	if dct <= slud {
+		t.Errorf("table3: DCT copy share (%v) should exceed SLUD's (%v)", dct, slud)
 	}
-	if r.Get("DCT/copyfrac") <= r.Get("MB/copyfrac") {
-		t.Errorf("table3: DCT copy share (%v) should exceed MB's (%v)",
-			r.Get("DCT/copyfrac"), r.Get("MB/copyfrac"))
+	if dct <= mb {
+		t.Errorf("table3: DCT copy share (%v) should exceed MB's (%v)", dct, mb)
 	}
 }
 
