@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check lint test vet race race-harness bench-engine
+.PHONY: check lint test vet race race-harness bench-engine bench-serve
 
 # check is the pre-merge gate: the determinism analyzers (pagodavet), go vet,
-# race detection across the internal tree, and one pass of the engine
-# benchmarks to catch gross perf regressions. lint runs first so a wall-clock
-# read or stray goroutine fails the build before anything expensive starts.
-check: lint vet race bench-engine
+# the full test suite, race detection across the internal tree, and one pass
+# of the engine benchmarks to catch gross perf regressions. lint runs first
+# so a wall-clock read or stray goroutine fails the build before anything
+# expensive starts.
+check: lint vet test race bench-engine
 
 # lint runs the project's determinism & sim-safety analyzers. Any
 # unsuppressed finding (e.g. a time.Now injected into internal/sim) exits
@@ -23,9 +24,11 @@ test:
 
 # race covers the whole internal tree, including the parallel experiment
 # sweep (harness's TestAllExperimentsDeterministicAndParallelSafe runs every
-# experiment on a 4-wide cell pool under the race detector).
+# experiment on a 4-wide cell pool under the race detector). The explicit
+# timeout keeps the harness package — >10 minutes under the race detector on
+# a small box — from tripping go test's 10-minute default.
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race -timeout 30m ./internal/...
 
 # race-harness is the focused version of the above for quick iteration on
 # the cell scheduler.
@@ -34,3 +37,11 @@ race-harness:
 
 bench-engine:
 	$(GO) test -bench=BenchmarkEngine -benchtime=1x -run='^$$' ./internal/sim/ .
+
+# bench-serve covers the open-loop serving hot paths: arrival generation and
+# percentile assembly (internal/serve) plus one timed-submission run per GPU
+# scheme (internal/runners). BENCH_serve.json records the capacity-sweep
+# wall-clock trajectory.
+bench-serve:
+	$(GO) test -bench='BenchmarkArrivals|BenchmarkSummarize' -benchmem -run='^$$' ./internal/serve/
+	$(GO) test -bench=BenchmarkOpenLoop -benchtime=1x -run='^$$' ./internal/runners/

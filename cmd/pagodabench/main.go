@@ -42,6 +42,7 @@ func run(out, errw io.Writer, args []string) int {
 	smms := fs.Int("smms", 24, "simulated SMM count (Titan X: 24)")
 	seed := fs.Int64("seed", 1, "workload generation seed")
 	parallel := fs.Int("parallel", 0, "experiment cells run concurrently (0 = all CPUs, 1 = sequential)")
+	slo := fs.Float64("slo", 1000, "p99 latency SLO for the serve_* experiments, microseconds")
 	format := fs.String("format", "text", "output format: text, csv, json")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
@@ -55,7 +56,7 @@ func run(out, errw io.Writer, args []string) int {
 		return 0
 	}
 
-	p := harness.Params{Tasks: *tasks, SMMs: *smms, Seed: *seed, Parallel: *parallel}
+	p := harness.Params{Tasks: *tasks, SMMs: *smms, Seed: *seed, Parallel: *parallel, SLOUs: *slo}
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {

@@ -42,6 +42,7 @@ type Runtime struct {
 	latSum, schedDelaySum float64
 	latMax                sim.Time
 	latCount              int
+	latencies             []sim.Time // per-task spawn-to-completion, completion order
 	busyWarpIntegral      float64
 
 	// CopyBacks counts forced TaskTable copy-back transactions (lazy
@@ -65,6 +66,14 @@ type Runtime struct {
 	// copy — exactly when the CPU actually learns of completion under the
 	// lazy-update protocol.
 	OnHostObservedDone func(TaskID)
+
+	// OnTaskDone, when set, is invoked the instant the last executor warp of
+	// a task finishes, with the device-side truth of its timeline: spawn
+	// (TaskSpawn call), sched (scheduler warp picked it up) and end. Unlike
+	// OnHostObservedDone it fires at device time regardless of copy-backs —
+	// the measurement hook of the open-loop serving layer, where latency is
+	// defined by completion, not by when the host happens to poll.
+	OnTaskDone func(id TaskID, spawn, sched, end sim.Time)
 }
 
 // NewRuntime builds the runtime and launches the MasterKernel, which
@@ -274,19 +283,25 @@ func (rt *Runtime) applyCopyBack(c, r int, de *deviceEntry) {
 // of the last spawned task and, if it is still (-1, 0), set it to (1, 1) so
 // the final task in a burst gets scheduled without a successor.
 func (rt *Runtime) flushLast(host *sim.Proc) {
-	if rt.lastSpawned < firstTaskID || rt.lastSpawned == rt.lastFlushed {
+	// Capture the flush target before any yield: the spawner may spawn more
+	// tasks while this proc sleeps inside the copies below, and crediting the
+	// flush to whatever lastSpawned has become by then would mark a
+	// never-flushed task as flushed — wedging it forever when no later spawn
+	// arrives to resolve its pipelining pointer (sparse open-loop arrivals).
+	target := rt.lastSpawned
+	if target < firstTaskID || target == rt.lastFlushed {
 		return
 	}
-	ref := slotForTaskID(rt.lastSpawned, rt.Cfg.Rows, rt.totalEntries)
+	ref := slotForTaskID(target, rt.Cfg.Rows, rt.totalEntries)
 	he := &rt.host[ref.col][ref.row]
-	if he.h2dInFlight || he.id != rt.lastSpawned {
+	if he.h2dInFlight || he.id != target {
 		return
 	}
 	de := rt.mtbs[ref.col].entries[ref.row]
 	rt.Ctx.MemcpyD2HSync(host, rt.Cfg.EntryBytes)
 	rt.CopyBacks++
 	switch {
-	case de.id != rt.lastSpawned:
+	case de.id != target:
 		// Stale device view; retry on the next flush.
 	case de.ready == readyCopied && !de.sched:
 		rt.Ctx.MemcpyH2DSync(host, rt.Cfg.EntryBytes)
@@ -295,10 +310,10 @@ func (rt *Runtime) flushLast(host *sim.Proc) {
 			de.sched = true
 			rt.mtbs[ref.col].activity.Broadcast()
 		}
-		rt.lastFlushed = rt.lastSpawned
+		rt.lastFlushed = target
 	case de.ready == readyScheduling || de.ready == readyFree:
 		// Already scheduling or finished: no flush needed.
-		rt.lastFlushed = rt.lastSpawned
+		rt.lastFlushed = target
 	default:
 		// The entry still holds its pipelining pointer (ready = prev TaskID):
 		// the GPU scheduler has not resolved it yet. Retry on the next flush.
@@ -398,7 +413,16 @@ func (rt *Runtime) taskFinished(e *deviceEntry) {
 		rt.latMax = lat
 	}
 	rt.latCount++
+	rt.latencies = append(rt.latencies, lat)
+	if rt.OnTaskDone != nil {
+		rt.OnTaskDone(e.id, e.spawnTime, e.schedTime, e.endTime)
+	}
 }
+
+// Latencies returns every completed task's spawn-to-completion latency in
+// completion order. The slice is owned by the runtime: callers must not
+// mutate it (sort a copy for percentiles).
+func (rt *Runtime) Latencies() []sim.Time { return rt.latencies }
 
 // Shutdown terminates the MasterKernel: the host writes a termination flag
 // to device memory and waits for the daemon to exit.

@@ -242,6 +242,16 @@ func (h *KernelHandle) Kernel() *gpu.Kernel { return h.kernel }
 // connection from launch overhead until completion; at most MaxConnections
 // kernels are concurrently resident device-wide.
 func (s *Stream) Launch(host *sim.Proc, spec gpu.LaunchSpec) *KernelHandle {
+	return s.LaunchHooked(host, spec, nil)
+}
+
+// LaunchHooked is Launch with an observation hook: onDispatch (may be nil)
+// runs at the virtual instant the kernel's threadblocks become dispatchable —
+// after the stream reached it, a HyperQ connection was acquired and the
+// launch overhead elapsed. Open-loop latency accounting uses it to split a
+// task's submit-to-complete time into queue wait and service. The hook runs
+// on the stream worker and must not block.
+func (s *Stream) LaunchHooked(host *sim.Proc, spec gpu.LaunchSpec, onDispatch func()) *KernelHandle {
 	h := &KernelHandle{spec: spec}
 	c := s.ctx
 	host.Sleep(c.Cfg.LaunchCPUCost - c.Cfg.EnqueueCost) // extra driver work vs a copy enqueue
@@ -250,6 +260,9 @@ func (s *Stream) Launch(host *sim.Proc, spec gpu.LaunchSpec) *KernelHandle {
 		p.Sleep(c.Cfg.LaunchOverhead)
 		h.kernel = c.Dev.Launch(spec)
 		c.KernelsLaunched++
+		if onDispatch != nil {
+			onDispatch()
+		}
 		h.kernel.WaitDone(p)
 		c.hyperQ.Release()
 		h.finished = true

@@ -20,6 +20,10 @@ type Params struct {
 	// in declaration order. Output is byte-identical at every width; see
 	// sched.go.
 	Parallel int
+
+	// SLOUs is the p99 latency bound for the serve_* experiments in
+	// microseconds; 0 means the 1000us default. Other experiments ignore it.
+	SLOUs float64
 }
 
 // DefaultParams returns the laptop-scale defaults.
@@ -42,9 +46,9 @@ func (p Params) runnerCfg() runners.Config {
 }
 
 // Experiments lists every regenerable artifact (the paper's tables and
-// figures plus the §6.2 CPU-scheme bake-off).
+// figures, the §6.2 CPU-scheme bake-off, and the open-loop serving sweeps).
 func Experiments() []string {
-	return []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table5", "cpuschemes"}
+	return []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table5", "cpuschemes", "serve_latency", "serve_capacity"}
 }
 
 // Run regenerates one experiment by ID.
@@ -70,6 +74,10 @@ func Run(id string, p Params) (*Report, error) {
 		return Table5(p), nil
 	case "cpuschemes":
 		return CPUSchemes(p), nil
+	case "serve_latency":
+		return ServeLatency(p), nil
+	case "serve_capacity":
+		return ServeCapacity(p), nil
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
 	}
@@ -92,7 +100,7 @@ func taskCount(p Params, bench string) int {
 func Fig5(p Params) *Report {
 	p = p.fill()
 	r := newReport("fig5", fmt.Sprintf("Overall performance (speedup over 1-core CPU), %d tasks, 128 threads/task", p.Tasks),
-		"Benchmark", "PThreads", "CUDA-HyperQ", "GeMTC", "Pagoda", "Pagoda/HQ", "Pagoda/GeMTC", "Pagoda/PThr")
+		"Benchmark", "PThreads", "CUDA-HyperQ", "GeMTC", "Pagoda", "Pagoda/HQ", "Pagoda/GeMTC", "Pagoda/PThr", "HQ p99(us)", "Pagoda p99(us)")
 
 	type fig5Cells struct {
 		name                string
@@ -131,13 +139,20 @@ func Fig5(p Params) *Report {
 		ptS := seq.Elapsed / c.pt.Elapsed
 		pgS := seq.Elapsed / c.pg.Elapsed
 		r.addRow(name, f2(ptS), f2(hqS), gmStr, f2(pgS),
-			f2(pgS/hqS), cond(gmS > 0, f2(pgS/gmS), "n/a"), f2(pgS/ptS))
+			f2(pgS/hqS), cond(gmS > 0, f2(pgS/gmS), "n/a"), f2(pgS/ptS),
+			us(c.hq.P99Latency), us(c.pg.P99Latency))
 		r.set(name+"/pthreads", ptS)
 		r.set(name+"/hyperq", hqS)
 		if gmS > 0 {
 			r.set(name+"/gemtc", gmS)
+			r.set(name+"/p99us/gemtc", c.gm.P99Latency/1e3)
 		}
 		r.set(name+"/pagoda", pgS)
+		// Exact per-task tail latency (nearest-rank over the closed-loop run's
+		// latency vector) — the narrow-task story the speedup columns hide.
+		r.set(name+"/p99us/pthreads", c.pt.P99Latency/1e3)
+		r.set(name+"/p99us/hyperq", c.hq.P99Latency/1e3)
+		r.set(name+"/p99us/pagoda", c.pg.P99Latency/1e3)
 		vsPT = append(vsPT, pgS/ptS)
 		vsHQ = append(vsHQ, pgS/hqS)
 		if gmS > 0 {
@@ -237,7 +252,7 @@ func Fig7(p Params) *Report {
 	}
 	s.run()
 
-	var vsHQ128, vsGM128 []float64
+	var vsHQ128, vsGM128, p99vsHQ128 []float64
 	rows := map[string][]string{}
 	for _, c := range cells {
 		rows["CUDA-HyperQ"] = append(rows["CUDA-HyperQ"], ms(c.hq.Elapsed))
@@ -246,9 +261,15 @@ func Fig7(p Params) *Report {
 		r.set(fmt.Sprintf("%s/hyperq/%d", c.name, c.th), c.hq.Elapsed)
 		r.set(fmt.Sprintf("%s/gemtc/%d", c.name, c.th), c.gm.Elapsed)
 		r.set(fmt.Sprintf("%s/pagoda/%d", c.name, c.th), c.pg.Elapsed)
+		// Exact per-task p99 alongside each makespan point (us; nearest-rank
+		// order statistics from the runs' latency vectors).
+		r.set(fmt.Sprintf("%s/p99us/hyperq/%d", c.name, c.th), c.hq.P99Latency/1e3)
+		r.set(fmt.Sprintf("%s/p99us/gemtc/%d", c.name, c.th), c.gm.P99Latency/1e3)
+		r.set(fmt.Sprintf("%s/p99us/pagoda/%d", c.name, c.th), c.pg.P99Latency/1e3)
 		if c.th == 128 {
 			vsHQ128 = append(vsHQ128, c.hq.Elapsed/c.pg.Elapsed)
 			vsGM128 = append(vsGM128, c.gm.Elapsed/c.pg.Elapsed)
+			p99vsHQ128 = append(p99vsHQ128, c.hq.P99Latency/c.pg.P99Latency)
 		}
 		if len(rows["Pagoda"]) == len(threadCounts) { // benchmark complete
 			for _, scheme := range []string{"CUDA-HyperQ", "GeMTC", "Pagoda"} {
@@ -259,8 +280,11 @@ func Fig7(p Params) *Report {
 	}
 	r.set("geomean128/pagoda-vs-hyperq", geomean(vsHQ128))
 	r.set("geomean128/pagoda-vs-gemtc", geomean(vsGM128))
+	r.set("geomean128/p99/pagoda-vs-hyperq", geomean(p99vsHQ128))
 	r.note("geomean at 128 threads: Pagoda %.2fx over HyperQ (paper: 2.29x), %.2fx over GeMTC (paper: 2.26x)",
 		geomean(vsHQ128), geomean(vsGM128))
+	r.note("geomean p99 latency at 128 threads: HyperQ %.2fx Pagoda's (per-scheme p99 series under <bench>/p99us/<scheme>/<threads>)",
+		geomean(p99vsHQ128))
 	return r
 }
 

@@ -1,0 +1,207 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/runners"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// serveTaskCap bounds the open-loop experiments' task count. Serving runs
+// measure per-task latency under a fixed offered rate, not throughput at
+// scale, so a paper-scale -tasks 32768 would multiply the sweep's wall-clock
+// by 64x without changing a single percentile's meaning.
+const serveTaskCap = 512
+
+// sloCycles converts Params.SLOUs to engine cycles (1 cycle = 1 ns at
+// 1 GHz), defaulting to a 1000us p99 bound.
+func (p Params) sloCycles() sim.Time {
+	us := p.SLOUs
+	if us <= 0 {
+		us = 1000
+	}
+	return sim.Time(us * 1e3)
+}
+
+func serveTaskCount(p Params) int {
+	if p.Tasks > serveTaskCap {
+		return serveTaskCap
+	}
+	return p.Tasks
+}
+
+// serveScheme pairs a result key with a timed-submission runner. Only the
+// GPU schemes appear: the CPU baselines have no spawn path to meter against
+// virtual-time arrivals.
+type serveScheme struct {
+	key     string // Values key component
+	display string // table cell
+	run     func([]workloads.TaskDef, runners.OpenLoop, runners.Config) (runners.Result, []serve.Record)
+}
+
+func serveSchemes() []serveScheme {
+	return []serveScheme{
+		{"hyperq", "CUDA-HyperQ", runners.RunHyperQOpenLoop},
+		{"gemtc", "GeMTC", runners.RunGeMTCOpenLoop},
+		{"pagoda", "Pagoda", runners.RunPagodaOpenLoop},
+	}
+}
+
+// serveCell enqueues one open-loop simulation and returns the slot holding
+// its summary after run(). The policy is constructed inside the cell so
+// stateful policies (the token bucket) stay private to the run, and arrivals
+// are regenerated per cell (generators are pure values), keeping cells
+// independent at any harness parallelism.
+func serveCell(s *sweep, b workloads.Benchmark, opt workloads.Options, cfg runners.Config,
+	gen serve.Generator, pol func() serve.Policy, sc serveScheme, slo sim.Time) *serve.Stats {
+	out := new(serve.Stats)
+	s.add(func() {
+		tasks := b.Make(opt)
+		ol := runners.OpenLoop{Arrivals: gen.Times(len(tasks))}
+		if pol != nil {
+			ol.Admit = pol().Admit
+		}
+		_, recs := sc.run(tasks, ol, cfg)
+		*out = serve.Summarize(recs, slo)
+	})
+	return out
+}
+
+// servePolicies is the admission-control cross for ServeLatency. The token
+// bucket is shaped to half the offered rate (burst 32) so its effect is
+// visible at every point of the ladder rather than only past saturation.
+func servePolicies(rate float64) []struct {
+	label string
+	mk    func() serve.Policy
+} {
+	return []struct {
+		label string
+		mk    func() serve.Policy
+	}{
+		{"unbounded", func() serve.Policy { return serve.Unbounded{} }},
+		{"queue64", func() serve.Policy { return serve.BoundedQueue{Limit: 64} }},
+		{"token", func() serve.Policy { return serve.NewTokenBucket(rate/2, 32) }},
+	}
+}
+
+// ServeLatency regenerates the open-loop tail-latency table: Poisson
+// arrivals at a light and a heavy offered rate, crossed with the admission
+// policies, for each GPU scheme. Each row reports the exact
+// submit->start->done decomposition (queue wait vs service), the tail
+// percentiles, drops, and goodput against the p99 SLO.
+func ServeLatency(p Params) *Report {
+	p = p.fill()
+	n := serveTaskCount(p)
+	slo := p.sloCycles()
+	rates := []float64{16e3, 256e3}
+
+	r := newReport("serve_latency",
+		fmt.Sprintf("Open-loop tail latency (MB, %d tasks, Poisson arrivals, p99 SLO %.0fus)", n, slo/1e3),
+		"Rate(/s)", "Policy", "Scheme", "p50(us)", "p90(us)", "p99(us)", "max(us)",
+		"wait(us)", "service(us)", "drops", "goodput")
+
+	b, _ := workloads.ByName("MB")
+	opt := workloads.Options{Tasks: n, Threads: 128, Seed: p.Seed}
+	cfg := p.runnerCfg()
+
+	type latCell struct {
+		rate   float64
+		policy string
+		sc     serveScheme
+		st     *serve.Stats
+	}
+	s := newSweep(p)
+	var cells []latCell
+	for _, rate := range rates {
+		gen := serve.Poisson{Rate: rate, Seed: p.Seed}
+		for _, pol := range servePolicies(rate) {
+			for _, sc := range serveSchemes() {
+				cells = append(cells, latCell{rate, pol.label, sc,
+					serveCell(s, b, opt, cfg, gen, pol.mk, sc, slo)})
+			}
+		}
+	}
+	s.run()
+
+	for _, c := range cells {
+		st := *c.st
+		r.addRow(fmt.Sprintf("%.0f", c.rate), c.policy, c.sc.display,
+			us(st.P50), us(st.P90), us(st.P99), us(st.Max),
+			us(st.MeanWait), us(st.MeanService),
+			fmt.Sprint(st.Dropped), f2(st.Goodput))
+		key := fmt.Sprintf("%s/%s/%.0f", c.sc.key, c.policy, c.rate)
+		r.set(key+"/p99us", st.P99/1e3)
+		r.set(key+"/waitus", st.MeanWait/1e3)
+		r.set(key+"/drops", float64(st.Dropped))
+		r.set(key+"/goodput", st.Goodput)
+	}
+	r.note("goodput = tasks completed within the %.0fus p99 SLO / tasks offered: drops and SLO misses both count against it", slo/1e3)
+	r.note("wait is submit-to-service-start (queueing), service is start-to-done; the split is also exported as trace spans by the open-loop runners")
+	return r
+}
+
+// ServeCapacity regenerates the SLO-bounded capacity sweep: it walks the
+// offered-load ladder under unbounded admission and reports each scheme's
+// max sustainable rate — the highest rate whose whole prefix met the p99 SLO
+// with no drops (serve.MaxSustainable). This is the serving-facing headline
+// of the paper's thesis: a faster spawn path holds the latency knee at a
+// higher offered load.
+func ServeCapacity(p Params) *Report {
+	p = p.fill()
+	n := serveTaskCount(p)
+	slo := p.sloCycles()
+	rates := serve.DefaultRates()
+
+	header := []string{"Scheme"}
+	for _, rate := range rates {
+		header = append(header, fmt.Sprintf("%.0f/s", rate))
+	}
+	header = append(header, "max-rate(/s)")
+	r := newReport("serve_capacity",
+		fmt.Sprintf("SLO-bounded capacity (MB, %d tasks, Poisson arrivals; p99 us per offered rate, * = %.0fus p99 SLO missed)", n, slo/1e3),
+		header...)
+
+	b, _ := workloads.ByName("MB")
+	opt := workloads.Options{Tasks: n, Threads: 128, Seed: p.Seed}
+	cfg := p.runnerCfg()
+
+	s := newSweep(p)
+	cells := make(map[string][]*serve.Stats)
+	for _, sc := range serveSchemes() {
+		for _, rate := range rates {
+			gen := serve.Poisson{Rate: rate, Seed: p.Seed}
+			cells[sc.key] = append(cells[sc.key], serveCell(s, b, opt, cfg, gen, nil, sc, slo))
+		}
+	}
+	s.run()
+
+	maxRates := make(map[string]float64)
+	for _, sc := range serveSchemes() {
+		row := []string{sc.display}
+		ok := make([]bool, len(rates))
+		for i, rate := range rates {
+			st := *cells[sc.key][i]
+			ok[i] = st.SLOSatisfied()
+			row = append(row, cond(ok[i], us(st.P99), us(st.P99)+"*"))
+			r.set(fmt.Sprintf("%s/p99us/%.0f", sc.key, rate), st.P99/1e3)
+			r.set(fmt.Sprintf("%s/goodput/%.0f", sc.key, rate), st.Goodput)
+		}
+		max := serve.MaxSustainable(rates, ok)
+		maxRates[sc.key] = max
+		r.set(sc.key+"/max-rate", max)
+		row = append(row, cond(max > 0, fmt.Sprintf("%.0f", max), "none"))
+		r.addRow(row...)
+	}
+	r.note("max sustainable rate under the %.0fus p99 SLO: Pagoda %s, CUDA-HyperQ %s, GeMTC %s (highest ladder rate whose whole prefix met the SLO with no drops)",
+		slo/1e3, rateStr(maxRates["pagoda"]), rateStr(maxRates["hyperq"]), rateStr(maxRates["gemtc"]))
+	return r
+}
+
+func rateStr(rate float64) string {
+	if rate <= 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%.0f/s", rate)
+}

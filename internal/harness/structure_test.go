@@ -1,6 +1,9 @@
 package harness
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // tinyParams makes each generator cheap enough to exercise structurally
 // (rows present, values recorded); shape assertions live in harness_test.go
@@ -129,6 +132,79 @@ func TestCPUSchemesStructure(t *testing.T) {
 		}
 		if row[len(row)-1] != "PThreads" {
 			t.Errorf("%s: best scheme = %s, want PThreads", name, row[len(row)-1])
+		}
+	}
+}
+
+func TestServeLatencyStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep")
+	}
+	r := ServeLatency(tinyParams())
+	// 2 rates x 3 policies x 3 schemes.
+	if len(r.Rows) != 18 {
+		t.Fatalf("serve_latency rows = %d, want 18", len(r.Rows))
+	}
+	for _, key := range []string{
+		"pagoda/unbounded/16000/p99us",
+		"hyperq/queue64/256000/goodput",
+		"gemtc/token/16000/drops",
+	} {
+		if _, ok := r.Lookup(key); !ok {
+			t.Errorf("serve_latency missing value %s", key)
+		}
+	}
+	for _, sc := range serveSchemes() {
+		for _, rate := range []string{"16000", "256000"} {
+			if d := mustGet(t, r, sc.key+"/unbounded/"+rate+"/drops"); d != 0 {
+				t.Errorf("serve_latency %s unbounded@%s dropped %v tasks", sc.key, rate, d)
+			}
+			g := mustGet(t, r, sc.key+"/unbounded/"+rate+"/goodput")
+			if g < 0 || g > 1 {
+				t.Errorf("serve_latency %s goodput out of range: %v", sc.key, g)
+			}
+		}
+	}
+}
+
+func TestServeCapacityStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep")
+	}
+	r := ServeCapacity(tinyParams())
+	if len(r.Rows) != 3 {
+		t.Fatalf("serve_capacity rows = %d, want 3", len(r.Rows))
+	}
+	rates := []string{"4000", "8000", "16000", "32000", "64000", "128000", "256000", "512000"}
+	for _, sc := range serveSchemes() {
+		for _, rate := range rates {
+			if p99 := mustGet(t, r, sc.key+"/p99us/"+rate); p99 <= 0 {
+				t.Errorf("serve_capacity %s p99@%s = %v, want > 0", sc.key, rate, p99)
+			}
+			g := mustGet(t, r, sc.key+"/goodput/"+rate)
+			if g < 0 || g > 1 {
+				t.Errorf("serve_capacity %s goodput@%s out of range: %v", sc.key, rate, g)
+			}
+		}
+		// max-rate is 0 (nothing sustainable) or a ladder rate; mustGet also
+		// pins that the headline key is recorded at all.
+		max := mustGet(t, r, sc.key+"/max-rate")
+		found := max == 0
+		for _, rate := range rates {
+			if fmt.Sprintf("%.0f", max) == rate {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("serve_capacity %s max-rate %v is not on the ladder", sc.key, max)
+		}
+	}
+	// Offering more load never shrinks the unbounded-queueing tail: the top
+	// of the ladder must be at least as slow as the bottom for every scheme.
+	for _, sc := range serveSchemes() {
+		lo, hi := mustGet(t, r, sc.key+"/p99us/4000"), mustGet(t, r, sc.key+"/p99us/512000")
+		if hi < lo {
+			t.Errorf("serve_capacity %s p99 fell under load: %v at 4k/s, %v at 512k/s", sc.key, lo, hi)
 		}
 	}
 }

@@ -121,7 +121,16 @@ func (p *pipe) rearm() {
 	if minRem < 0 {
 		minRem = 0
 	}
-	p.timer.Reset(minRem / p.perFlow())
+	d := minRem / p.perFlow()
+	if now := p.eng.Now(); now+d == now {
+		// See gpu.bwResource.rearm: a delay below the clock's current
+		// float64 ulp would re-fire at this instant forever without
+		// draining; step to the next representable instant so the
+		// transfer completes.
+		p.timer.ResetAt(math.Nextafter(now, math.Inf(1)))
+		return
+	}
+	p.timer.Reset(d)
 }
 
 func (p *pipe) onTimer() {

@@ -51,9 +51,7 @@ func RunGeMTC(tasks []workloads.TaskDef, cfg Config) Result {
 
 	queueSite := gpu.NewAtomicSite(sys.eng, sys.dev.Cfg.AtomicGlobalLatency)
 
-	var latSum float64
-	var latMax sim.Time
-	completed := 0
+	lats := make([]sim.Time, 0, len(tasks))
 
 	var endTime sim.Time
 	sys.eng.Spawn("gemtc-host", func(p *sim.Proc) {
@@ -135,12 +133,7 @@ func RunGeMTC(tasks []workloads.TaskDef, cfg Config) Result {
 			for range cur {
 				// Batch semantics: a task is only available to the host when
 				// the whole batch is (the latency property of Fig. 10).
-				lat := batchEnd - spawnTime
-				latSum += lat
-				if lat > latMax {
-					latMax = lat
-				}
-				completed++
+				lats = append(lats, batchEnd-spawnTime)
 			}
 		}
 		endTime = sys.eng.Now()
@@ -149,14 +142,11 @@ func RunGeMTC(tasks []workloads.TaskDef, cfg Config) Result {
 
 	m := sys.dev.Metrics()
 	r := Result{
-		Elapsed:    endTime,
-		MaxLatency: latMax,
-		Occupancy:  m.AvgOccupancy,
-		IssueUtil:  m.IssueUtil,
-		Tasks:      completed,
+		Elapsed:   endTime,
+		Occupancy: m.AvgOccupancy,
+		IssueUtil: m.IssueUtil,
+		Tasks:     len(lats),
 	}
-	if completed > 0 {
-		r.AvgLatency = latSum / float64(completed)
-	}
+	r.fillLatencies(lats)
 	return r
 }

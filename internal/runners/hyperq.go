@@ -29,9 +29,7 @@ func RunHyperQ(tasks []workloads.TaskDef, cfg Config) Result {
 	}
 	parts := splitRoundRobin(tasks, spawners)
 
-	var latSum float64
-	var latMax sim.Time
-	completed := 0
+	lats := make([]sim.Time, 0, len(tasks))
 	finishedSpawners := 0
 	var endTime sim.Time
 
@@ -57,12 +55,7 @@ func RunHyperQ(tasks []workloads.TaskDef, cfg Config) Result {
 			}
 			for i, h := range handles {
 				h.Wait(p)
-				lat := sys.eng.Now() - spawnTimes[i]
-				latSum += lat
-				if lat > latMax {
-					latMax = lat
-				}
-				completed++
+				lats = append(lats, sys.eng.Now()-spawnTimes[i])
 			}
 			for _, st := range streams {
 				st.Sync(p)
@@ -77,15 +70,12 @@ func RunHyperQ(tasks []workloads.TaskDef, cfg Config) Result {
 
 	m := sys.dev.Metrics()
 	r := Result{
-		Elapsed:    endTime,
-		MaxLatency: latMax,
-		Occupancy:  m.AvgOccupancy,
-		IssueUtil:  m.IssueUtil,
-		Tasks:      completed,
+		Elapsed:   endTime,
+		Occupancy: m.AvgOccupancy,
+		IssueUtil: m.IssueUtil,
+		Tasks:     len(lats),
 	}
-	if completed > 0 {
-		r.AvgLatency = latSum / float64(completed)
-	}
+	r.fillLatencies(lats)
 	return r
 }
 

@@ -1,0 +1,25 @@
+package runners
+
+import (
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/workloads"
+)
+
+// BenchmarkOpenLoop times one timed-submission run per GPU scheme — the
+// capacity sweep's unit of work (256 tasks at a mid-ladder offered rate on
+// the full 24-SMM device).
+func BenchmarkOpenLoop(b *testing.B) {
+	tasks := workloads.Mandelbrot().Make(workloads.Options{Tasks: 256, Threads: 128, Seed: 1})
+	cfg := DefaultConfig()
+	cfg.SMMs = 24
+	arr := serve.Poisson{Rate: 64e3, Seed: 1}.Times(len(tasks))
+	for _, r := range olRunners() {
+		b.Run(r.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.run(tasks, OpenLoop{Arrivals: arr}, cfg)
+			}
+		})
+	}
+}

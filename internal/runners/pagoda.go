@@ -101,12 +101,12 @@ func RunPagoda(tasks []workloads.TaskDef, cfg Config) Result {
 
 	st := rt.Stats()
 	m := sys.dev.Metrics()
-	return Result{
-		Elapsed:    end,
-		AvgLatency: st.AvgLatency,
-		MaxLatency: st.MaxLatency,
-		Occupancy:  rt.TaskWarpOccupancy(end),
-		IssueUtil:  m.IssueUtil,
-		Tasks:      st.Completed,
+	r := Result{
+		Elapsed:   end,
+		Occupancy: rt.TaskWarpOccupancy(end),
+		IssueUtil: m.IssueUtil,
+		Tasks:     st.Completed,
 	}
+	r.fillLatencies(rt.Latencies())
+	return r
 }

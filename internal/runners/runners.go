@@ -19,9 +19,12 @@
 package runners
 
 import (
+	"sort"
+
 	"repro/internal/cuda"
 	"repro/internal/gpu"
 	"repro/internal/pcie"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -66,9 +69,35 @@ type Result struct {
 	Elapsed    sim.Time // cycles (1 cycle = 1 ns) from first spawn to all done
 	AvgLatency sim.Time // mean per-task spawn-to-completion latency
 	MaxLatency sim.Time
+	// P50Latency/P90Latency/P99Latency are exact nearest-rank order
+	// statistics over the per-task latency vector — the tail the mean hides.
+	// Zero for schemes without a per-task latency notion (sequential CPU).
+	P50Latency sim.Time
+	P90Latency sim.Time
+	P99Latency sim.Time
 	Occupancy  float64 // mean resident-warp occupancy over the run
 	IssueUtil  float64 // fraction of issue slots used
 	Tasks      int
+}
+
+// fillLatencies computes the latency aggregates — mean, max and the exact
+// p50/p90/p99 order statistics — from a per-task latency vector. The input
+// is not mutated (a copy is sorted). No-op on an empty vector.
+func (r *Result) fillLatencies(lats []sim.Time) {
+	if len(lats) == 0 {
+		return
+	}
+	sorted := append([]sim.Time(nil), lats...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, l := range sorted {
+		sum += l
+	}
+	r.AvgLatency = sum / float64(len(sorted))
+	r.P50Latency = serve.Percentile(sorted, 0.50)
+	r.P90Latency = serve.Percentile(sorted, 0.90)
+	r.P99Latency = serve.Percentile(sorted, 0.99)
+	r.MaxLatency = sorted[len(sorted)-1]
 }
 
 // Seconds converts the elapsed cycles to seconds.

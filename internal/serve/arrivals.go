@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// cyclesPerSecond converts task rates (tasks/second) to the engine's clock
+// (1 cycle = 1 ns at 1 GHz).
+const cyclesPerSecond = 1e9
+
+// A Generator produces the arrival timestamp sequence of an open-loop
+// workload: Times(n) returns n nondecreasing virtual-cycle instants at which
+// tasks 0..n-1 enter the system. Generators are pure values — the same
+// generator produces the same sequence every call, so experiment cells can
+// regenerate arrivals independently and byte-identically at any harness
+// parallelism.
+type Generator interface {
+	Name() string
+	Times(n int) []sim.Time
+}
+
+// FixedRate spaces arrivals exactly 1/Rate seconds apart — the deterministic
+// baseline process (a perfectly paced load generator).
+type FixedRate struct {
+	Rate float64 // tasks per second
+}
+
+// Name implements Generator.
+func (g FixedRate) Name() string { return fmt.Sprintf("fixed@%g/s", g.Rate) }
+
+// Times implements Generator. The first arrival lands one interval in, so a
+// zero-time submission burst never occurs.
+func (g FixedRate) Times(n int) []sim.Time {
+	checkRate(g.Rate)
+	gap := cyclesPerSecond / g.Rate
+	out := make([]sim.Time, n)
+	for i := range out {
+		out[i] = sim.Time(i+1) * gap
+	}
+	return out
+}
+
+// Poisson draws exponential inter-arrival gaps with mean 1/Rate from a
+// seeded PRNG — the memoryless arrival process of classic open-loop serving
+// studies. Identical (Rate, Seed) pairs produce identical sequences.
+type Poisson struct {
+	Rate float64 // tasks per second
+	Seed int64
+}
+
+// Name implements Generator.
+func (g Poisson) Name() string { return fmt.Sprintf("poisson@%g/s", g.Rate) }
+
+// Times implements Generator via inverse-CDF sampling: gap = -ln(1-u)/rate.
+func (g Poisson) Times(n int) []sim.Time {
+	checkRate(g.Rate)
+	r := newRand(g.Seed)
+	gap := cyclesPerSecond / g.Rate
+	out := make([]sim.Time, n)
+	t := sim.Time(0)
+	for i := range out {
+		t += -math.Log(1-r.float01()) * gap
+		out[i] = t
+	}
+	return out
+}
+
+// Bursty emits on-off traffic: bursts of Burst arrivals spaced at PeakRate,
+// separated by Gap idle cycles — the antagonistic pattern for schemes whose
+// spawn path amortizes poorly (batch launchers see either a full batch or a
+// straggler).
+type Bursty struct {
+	PeakRate float64  // tasks per second within a burst
+	Burst    int      // arrivals per burst
+	Gap      sim.Time // idle cycles between bursts
+}
+
+// Name implements Generator.
+func (g Bursty) Name() string {
+	return fmt.Sprintf("bursty@%g/s x%d +%gns", g.PeakRate, g.Burst, g.Gap)
+}
+
+// Times implements Generator.
+func (g Bursty) Times(n int) []sim.Time {
+	checkRate(g.PeakRate)
+	if g.Burst <= 0 {
+		panic(fmt.Sprintf("serve: bursty generator with burst size %d", g.Burst))
+	}
+	if g.Gap < 0 {
+		panic(fmt.Sprintf("serve: bursty generator with negative gap %v", g.Gap))
+	}
+	peakGap := cyclesPerSecond / g.PeakRate
+	out := make([]sim.Time, n)
+	t := sim.Time(0)
+	for i := range out {
+		if i > 0 && i%g.Burst == 0 {
+			t += g.Gap
+		}
+		t += peakGap
+		out[i] = t
+	}
+	return out
+}
+
+// Trace replays a recorded arrival sequence (e.g. captured from a production
+// log, or the Times of another generator dumped to disk). The sequence must
+// be nondecreasing.
+type Trace struct {
+	Label string
+	At    []sim.Time
+}
+
+// Name implements Generator.
+func (g Trace) Name() string {
+	if g.Label != "" {
+		return "trace:" + g.Label
+	}
+	return fmt.Sprintf("trace[%d]", len(g.At))
+}
+
+// Times implements Generator; it returns a copy of the first n recorded
+// instants and panics if the trace is shorter than n or not sorted.
+func (g Trace) Times(n int) []sim.Time {
+	if len(g.At) < n {
+		panic(fmt.Sprintf("serve: trace has %d arrivals, need %d", len(g.At), n))
+	}
+	out := make([]sim.Time, n)
+	copy(out, g.At[:n])
+	for i := 1; i < n; i++ {
+		if out[i] < out[i-1] {
+			panic(fmt.Sprintf("serve: trace arrivals decrease at %d: %v < %v", i, out[i], out[i-1]))
+		}
+	}
+	return out
+}
+
+func checkRate(rate float64) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		panic(fmt.Sprintf("serve: arrival rate %v is not a positive finite tasks/second", rate))
+	}
+}

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The serve hot paths are arrival generation (one call per experiment cell,
+// O(tasks)) and percentile assembly (one sort per cell). `make bench-serve`
+// runs these plus the capacity-sweep wall-clock macro recorded in
+// BENCH_serve.json.
+
+func BenchmarkArrivalsFixedRate(b *testing.B) {
+	g := FixedRate{Rate: 100e3}
+	for i := 0; i < b.N; i++ {
+		if got := g.Times(100_000); len(got) != 100_000 {
+			b.Fatal("short sequence")
+		}
+	}
+}
+
+func BenchmarkArrivalsPoisson(b *testing.B) {
+	g := Poisson{Rate: 100e3, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if got := g.Times(100_000); len(got) != 100_000 {
+			b.Fatal("short sequence")
+		}
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	// 100k records in a worst-case (reverse-sorted latency) order.
+	recs := make([]Record, 100_000)
+	for i := range recs {
+		at := sim.Time(i) * 10
+		recs[i] = Record{Submit: at, Start: at + 5, Done: at + 5 + sim.Time(len(recs)-i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := Summarize(recs, 50_000)
+		if s.Completed != len(recs) {
+			b.Fatal("lost records")
+		}
+	}
+}

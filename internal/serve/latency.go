@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Stats summarizes the per-task Records of one open-loop run against a tail
+// SLO. All quantiles are exact order statistics over the completed tasks'
+// latency vector (sorted, nearest-rank) — never an approximation sketch — so
+// reports are bit-deterministic.
+type Stats struct {
+	Offered   int // arrivals presented to the system
+	Dropped   int // rejected by admission control
+	Completed int // admitted tasks that finished
+
+	Mean sim.Time // mean submit-to-complete latency, cycles
+	P50  sim.Time
+	P90  sim.Time
+	P99  sim.Time
+	Max  sim.Time
+
+	MeanWait    sim.Time // mean submit-to-service-start (queueing)
+	MeanService sim.Time // mean service-start-to-complete
+
+	SLO     sim.Time // the p99 bound the run was judged against
+	SLOMet  int      // completed tasks within SLO
+	Goodput float64  // SLOMet / Offered: drops and SLO misses both count against it
+}
+
+// SLOSatisfied reports whether the run's p99 latency met the SLO with no
+// drops — the "sustainable" predicate of the capacity sweep.
+func (s Stats) SLOSatisfied() bool {
+	return s.Completed > 0 && s.Dropped == 0 && s.P99 <= s.SLO
+}
+
+// Summarize folds one run's records into Stats. Records with Dropped set
+// count as offered-but-rejected; everything else must have Done >= Start >=
+// Submit (a runner bug otherwise, and worth a loud panic since silent
+// negative latencies would corrupt every percentile above it).
+func Summarize(recs []Record, slo sim.Time) Stats {
+	s := Stats{Offered: len(recs), SLO: slo}
+	lats := make([]sim.Time, 0, len(recs))
+	var waitSum, svcSum float64
+	for i, r := range recs {
+		if r.Dropped {
+			s.Dropped++
+			continue
+		}
+		if r.Start < r.Submit || r.Done < r.Start {
+			panic(fmt.Sprintf("serve: record %d is out of order: submit=%v start=%v done=%v", i, r.Submit, r.Start, r.Done))
+		}
+		lats = append(lats, r.Latency())
+		waitSum += r.Wait()
+		svcSum += r.Service()
+		if r.Latency() <= slo {
+			s.SLOMet++
+		}
+	}
+	s.Completed = len(lats)
+	if s.Completed == 0 {
+		return s
+	}
+	sort.Float64s(lats)
+	var sum float64
+	for _, l := range lats {
+		sum += l
+	}
+	n := float64(s.Completed)
+	s.Mean = sum / n
+	s.P50 = Percentile(lats, 0.50)
+	s.P90 = Percentile(lats, 0.90)
+	s.P99 = Percentile(lats, 0.99)
+	s.Max = lats[len(lats)-1]
+	s.MeanWait = waitSum / n
+	s.MeanService = svcSum / n
+	if s.Offered > 0 {
+		s.Goodput = float64(s.SLOMet) / float64(s.Offered)
+	}
+	return s
+}
+
+// Percentile returns the exact nearest-rank q-quantile (0 < q <= 1) of an
+// ascending-sorted vector: the ceil(q*n)-th smallest element. It is the one
+// quantile definition that is always an actually observed latency.
+func Percentile(sorted []sim.Time, q float64) sim.Time {
+	if len(sorted) == 0 {
+		panic("serve: percentile of an empty vector")
+	}
+	if q <= 0 || q > 1 {
+		panic(fmt.Sprintf("serve: percentile quantile %v outside (0,1]", q))
+	}
+	idx := int(math.Ceil(q * float64(len(sorted))))
+	if idx < 1 {
+		idx = 1
+	}
+	return sorted[idx-1]
+}

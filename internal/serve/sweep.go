@@ -1,0 +1,32 @@
+package serve
+
+import "fmt"
+
+// DefaultRates is the capacity sweep's offered-load ladder (tasks/second),
+// geometric so one grid straddles saturation from a 4-SMM test device to the
+// full 24-SMM Titan X.
+func DefaultRates() []float64 {
+	return []float64{4e3, 8e3, 16e3, 32e3, 64e3, 128e3, 256e3, 512e3}
+}
+
+// MaxSustainable walks an ascending rate ladder and returns the highest rate
+// whose run satisfied the SLO with every lower rate also satisfying it — the
+// knee of the latency-vs-load curve. Requiring a clean prefix means a single
+// lucky cell past saturation cannot inflate the reported capacity. It
+// returns 0 when even the lowest rate misses the SLO.
+func MaxSustainable(rates []float64, ok []bool) float64 {
+	if len(rates) != len(ok) {
+		panic(fmt.Sprintf("serve: %d rates vs %d verdicts", len(rates), len(ok)))
+	}
+	max := 0.0
+	for i, r := range rates {
+		if i > 0 && r <= rates[i-1] {
+			panic(fmt.Sprintf("serve: rate ladder not ascending at %d: %v after %v", i, r, rates[i-1]))
+		}
+		if !ok[i] {
+			break
+		}
+		max = r
+	}
+	return max
+}
