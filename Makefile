@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint test vet race race-harness bench-engine bench-serve
+.PHONY: check lint test vet race race-harness bench-engine bench-serve bench-cluster
 
 # check is the pre-merge gate: the determinism analyzers (pagodavet), go vet,
 # the full test suite, race detection across the internal tree, and one pass
@@ -45,3 +45,11 @@ bench-engine:
 bench-serve:
 	$(GO) test -bench='BenchmarkArrivals|BenchmarkSummarize' -benchmem -run='^$$' ./internal/serve/
 	$(GO) test -bench=BenchmarkOpenLoop -benchtime=1x -run='^$$' ./internal/runners/
+
+# bench-cluster covers the multi-GPU fleet path: one 4-node timed-submission
+# run per scheme on a single engine (internal/runners). BENCH_cluster.json
+# records the cluster_scaling sweep's wall clock and headline capacity.
+# internal/cluster itself rides the standard gate: lint, test and race all
+# glob ./internal/..., so `make check` covers it with no extra target.
+bench-cluster:
+	$(GO) test -bench=BenchmarkCluster -benchtime=1x -run='^$$' ./internal/runners/

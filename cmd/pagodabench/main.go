@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/harness"
 )
 
@@ -40,9 +41,11 @@ func run(out, errw io.Writer, args []string) int {
 	exp := fs.String("exp", "all", "experiment id(s), comma-separated: all, "+fmt.Sprint(harness.Experiments()))
 	tasks := fs.Int("tasks", 2048, "tasks per benchmark (paper: 32768)")
 	smms := fs.Int("smms", 24, "simulated SMM count (Titan X: 24)")
-	seed := fs.Int64("seed", 1, "workload generation seed")
+	seed := fs.Int64("seed", 1, "workload generation and arrival-stream seed (recorded in JSON/CSV exports)")
 	parallel := fs.Int("parallel", 0, "experiment cells run concurrently (0 = all CPUs, 1 = sequential)")
-	slo := fs.Float64("slo", 1000, "p99 latency SLO for the serve_* experiments, microseconds")
+	slo := fs.Float64("slo", 1000, "p99 latency SLO for the serve_* and cluster_* experiments, microseconds")
+	nodes := fs.Int("nodes", 4, "fleet size for the cluster_* experiments")
+	policy := fs.String("policy", "rr", "cluster routing policy: "+strings.Join(cluster.PolicyNames(), ", "))
 	format := fs.String("format", "text", "output format: text, csv, json")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
@@ -56,7 +59,12 @@ func run(out, errw io.Writer, args []string) int {
 		return 0
 	}
 
-	p := harness.Params{Tasks: *tasks, SMMs: *smms, Seed: *seed, Parallel: *parallel, SLOUs: *slo}
+	if _, err := cluster.NewPolicy(*policy, *seed); err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
+	}
+	p := harness.Params{Tasks: *tasks, SMMs: *smms, Seed: *seed, Parallel: *parallel,
+		SLOUs: *slo, Nodes: *nodes, Policy: *policy}
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {

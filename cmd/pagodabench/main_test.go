@@ -113,3 +113,58 @@ func TestRunRejectsUnknownExperiment(t *testing.T) {
 		t.Errorf("stderr = %q, want unknown-experiment error", errw.String())
 	}
 }
+
+// TestClusterFlagsAndSeedExport drives the cluster experiment through the
+// CLI: -nodes/-policy select the fleet, and the JSON export names the seed
+// that produced the arrival streams.
+func TestClusterFlagsAndSeedExport(t *testing.T) {
+	var out, errw strings.Builder
+	code := run(&out, &errw, []string{"-exp", "cluster_policy", "-tasks", "48", "-smms", "4",
+		"-nodes", "2", "-policy", "p2c", "-seed", "7", "-format", "json"})
+	if code != 0 {
+		t.Fatalf("run(cluster_policy) = %d, stderr %q", code, errw.String())
+	}
+	var rep struct {
+		ID   string     `json:"id"`
+		Seed int64      `json:"seed"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("cluster JSON not parseable: %v", err)
+	}
+	if rep.ID != "cluster_policy" || rep.Seed != 7 || len(rep.Rows) == 0 {
+		t.Fatalf("report = id %q seed %d rows %d, want cluster_policy/7/>0", rep.ID, rep.Seed, len(rep.Rows))
+	}
+}
+
+// TestClusterCSVCarriesSeedRow pins the CSV side of the seed export: seeded
+// experiments end with a "# seed,<n>" row.
+func TestClusterCSVCarriesSeedRow(t *testing.T) {
+	var out, errw strings.Builder
+	code := run(&out, &errw, []string{"-exp", "cluster_scaling", "-tasks", "48", "-smms", "4",
+		"-seed", "9", "-format", "csv"})
+	if code != 0 {
+		t.Fatalf("run(cluster_scaling) = %d, stderr %q", code, errw.String())
+	}
+	rd := csv.NewReader(strings.NewReader(out.String()))
+	rd.FieldsPerRecord = -1
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("cluster CSV not parseable: %v", err)
+	}
+	last := recs[len(recs)-1]
+	if len(last) != 2 || last[0] != "# seed" || last[1] != "9" {
+		t.Errorf("last CSV row = %v, want [# seed 9]", last)
+	}
+}
+
+// TestRejectsUnknownPolicy pins the -policy validation path.
+func TestRejectsUnknownPolicy(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run(&out, &errw, []string{"-exp", "cluster_policy", "-policy", "bogus"}); code != 2 {
+		t.Fatalf("run(-policy bogus) = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "bogus") {
+		t.Errorf("stderr = %q, want unknown-policy error", errw.String())
+	}
+}

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	pagodatrace -bench MB -tasks 256 -o trace.json
+//	pagodatrace -nodes 4 -policy p2c -scheme pagoda -o fleet.json
+//
+// With -nodes N > 0 the command switches to cluster mode: it runs an
+// open-loop arrival stream on an N-node fleet (one engine, one clock) and
+// writes a merged trace with one wait/service track per node
+// ("node00/serve-pagoda", ...). Track order is stable — lexicographic, which
+// is node order — and the printed summary groups by node, then category.
 package main
 
 import (
@@ -17,10 +24,13 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/gpu"
 	"repro/internal/pcie"
+	"repro/internal/runners"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -40,6 +50,11 @@ func run(w io.Writer, args []string) error {
 	tasks := fs.Int("tasks", 256, "number of tasks")
 	threads := fs.Int("threads", 128, "threads per task")
 	smms := fs.Int("smms", 8, "simulated SMMs")
+	seed := fs.Int64("seed", 1, "workload and arrival-stream seed")
+	nodes := fs.Int("nodes", 0, "cluster mode: fleet size (0 = single-device closed-loop trace)")
+	policy := fs.String("policy", "rr", "cluster mode routing policy: "+fmt.Sprint(cluster.PolicyNames()))
+	scheme := fs.String("scheme", "pagoda", "cluster mode execution scheme: pagoda, hyperq, gemtc")
+	rate := fs.Float64("rate", 64e3, "cluster mode offered arrival rate per node, tasks/s")
 	out := fs.String("o", "trace.json", "output file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,7 +64,11 @@ func run(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
-	defs := b.Make(workloads.Options{Tasks: *tasks, Threads: *threads, Seed: 1})
+	defs := b.Make(workloads.Options{Tasks: *tasks, Threads: *threads, Seed: *seed})
+
+	if *nodes > 0 {
+		return runCluster(w, defs, *benchName, *smms, *seed, *nodes, *policy, *scheme, *rate, *out)
+	}
 
 	eng := sim.New()
 	gcfg := gpu.TitanX()
@@ -101,6 +120,68 @@ func run(w io.Writer, args []string) error {
 	for _, cat := range cats {
 		s := summary[cat]
 		fmt.Fprintf(w, "  %-12s %6d spans, %10.1f us total\n", cat, s.Count, s.Busy/1e3)
+	}
+	return nil
+}
+
+// runCluster runs the open-loop fleet and writes the merged per-node trace.
+func runCluster(w io.Writer, defs []workloads.TaskDef, benchName string,
+	smms int, seed int64, nodes int, policy, scheme string, rate float64, out string) error {
+	mk, err := cluster.NewPolicy(policy, seed)
+	if err != nil {
+		return err
+	}
+	var run func([]workloads.TaskDef, runners.ClusterOpenLoop, runners.Config) (runners.Result, runners.ClusterRun)
+	switch scheme {
+	case "pagoda":
+		run = runners.RunPagodaCluster
+	case "hyperq":
+		run = runners.RunHyperQCluster
+	case "gemtc":
+		run = runners.RunGeMTCCluster
+	default:
+		return fmt.Errorf("pagodatrace: unknown scheme %q (want pagoda, hyperq or gemtc)", scheme)
+	}
+	cfg := runners.DefaultConfig()
+	cfg.SMMs = smms
+
+	tr := trace.New()
+	co := runners.ClusterOpenLoop{
+		Arrivals: serve.Poisson{Rate: rate * float64(nodes), Seed: seed}.Times(len(defs)),
+		Nodes:    nodes,
+		Policy:   mk(),
+		Trace:    tr,
+	}
+	res, cr := run(defs, co, cfg)
+	if err := cr.CheckConservation(); err != nil {
+		return err
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteChromeJSON(f); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "ran %d %s tasks on %d %s nodes (policy %s) in %.2f ms simulated; wrote %d spans to %s\n",
+		len(defs), benchName, nodes, scheme, policy, res.Elapsed/1e6, tr.Len(), out)
+	byTrack := tr.SummaryByTrack()
+	for i, track := range cr.Names { // "node%02d/..." names: index order = lexicographic order
+		v := cr.Views[i]
+		fmt.Fprintf(w, "  %s: routed %d, done %d, dropped %d\n", track, v.Routed, v.Done, v.Dropped)
+		per := byTrack[track]
+		cats := make([]string, 0, len(per))
+		for cat := range per {
+			cats = append(cats, cat)
+		}
+		sort.Strings(cats)
+		for _, cat := range cats {
+			s := per[cat]
+			fmt.Fprintf(w, "    %-10s %6d spans, %10.1f us total\n", cat, s.Count, s.Busy/1e3)
+		}
 	}
 	return nil
 }

@@ -40,3 +40,55 @@ func TestRunRejectsUnknownBench(t *testing.T) {
 		t.Fatal("run accepted an unknown workload")
 	}
 }
+
+// TestClusterTraceSmoke drives cluster mode end to end: a 2-node fleet must
+// write one wait/service track per node (stable "node%02d/" prefixes) and
+// print a summary grouped by node.
+func TestClusterTraceSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fleet.json")
+	var sb strings.Builder
+	err := run(&sb, []string{"-bench", "MB", "-tasks", "16", "-smms", "4",
+		"-nodes", "2", "-policy", "rr", "-scheme", "pagoda", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2 pagoda nodes", "node00/serve-pagoda", "node01/serve-pagoda", "routed 8"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("cluster trace is not a JSON array: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range events {
+		if e["ph"] == "M" {
+			if args, ok := e["args"].(map[string]any); ok {
+				names[args["name"].(string)] = true
+			}
+		}
+	}
+	for _, want := range []string{"node00/serve-pagoda", "node01/serve-pagoda"} {
+		if !names[want] {
+			t.Errorf("trace missing track %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestClusterTraceRejectsUnknownSchemeAndPolicy pins cluster-mode validation.
+func TestClusterTraceRejectsUnknownSchemeAndPolicy(t *testing.T) {
+	var sb strings.Builder
+	tmp := filepath.Join(t.TempDir(), "t.json")
+	if err := run(&sb, []string{"-nodes", "2", "-scheme", "nope", "-o", tmp}); err == nil {
+		t.Error("run accepted an unknown scheme")
+	}
+	if err := run(&sb, []string{"-nodes", "2", "-policy", "nope", "-o", tmp}); err == nil {
+		t.Error("run accepted an unknown policy")
+	}
+}

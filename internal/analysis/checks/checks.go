@@ -18,6 +18,7 @@ func All() []*analysis.Analyzer {
 		Maprange,
 		Rawgo,
 		Syncprim,
+		Goroutine,
 	}
 }
 
@@ -34,6 +35,7 @@ var simScoped = []string{
 	"internal/runners",
 	"internal/workloads",
 	"internal/hostcpu",
+	"internal/cluster",
 }
 
 // inSimScope reports whether relPath is one of the simulation packages (or a

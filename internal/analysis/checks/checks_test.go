@@ -16,25 +16,28 @@ func TestRandsource(t *testing.T) { analysistest.Run(t, checks.Randsource, "test
 func TestMaprange(t *testing.T)   { analysistest.Run(t, checks.Maprange, "testdata/maprange") }
 func TestRawgo(t *testing.T)      { analysistest.Run(t, checks.Rawgo, "testdata/rawgo") }
 func TestSyncprim(t *testing.T)   { analysistest.Run(t, checks.Syncprim, "testdata/syncprim") }
+func TestGoroutine(t *testing.T)  { analysistest.Run(t, checks.Goroutine, "testdata/goroutine") }
 
 // TestScopes pins which packages each analyzer binds to: the wall-clock,
-// RNG and map-order rules cover the eight simulation packages; rawgo covers
-// everything except internal/sim; syncprim covers the simulation packages
-// minus internal/sim itself.
+// RNG and map-order rules cover the nine simulation packages (including
+// internal/cluster); rawgo and goroutine cover everything except
+// internal/sim; syncprim covers the simulation packages minus internal/sim
+// itself.
 func TestScopes(t *testing.T) {
 	cases := []struct {
-		rel                                              string
-		wallclock, randsource, maprange, rawgo, syncprim bool
+		rel                                                         string
+		wallclock, randsource, maprange, rawgo, syncprim, goroutine bool
 	}{
-		{"internal/sim", true, true, true, false, false},
-		{"internal/sim/subpkg", true, true, true, false, false},
-		{"internal/gpu", true, true, true, true, true},
-		{"internal/core", true, true, true, true, true},
-		{"internal/runners", true, true, true, true, true},
-		{"internal/harness", false, false, false, true, false},
-		{"internal/trace", false, false, false, true, false},
-		{"cmd/pagodabench", false, false, false, true, false},
-		{"", false, false, false, true, false}, // module root (pagoda.go)
+		{"internal/sim", true, true, true, false, false, false},
+		{"internal/sim/subpkg", true, true, true, false, false, false},
+		{"internal/gpu", true, true, true, true, true, true},
+		{"internal/core", true, true, true, true, true, true},
+		{"internal/runners", true, true, true, true, true, true},
+		{"internal/cluster", true, true, true, true, true, true},
+		{"internal/harness", false, false, false, true, false, true},
+		{"internal/trace", false, false, false, true, false, true},
+		{"cmd/pagodabench", false, false, false, true, false, true},
+		{"", false, false, false, true, false, true}, // module root (pagoda.go)
 	}
 	for _, c := range cases {
 		got := map[string]bool{
@@ -43,10 +46,12 @@ func TestScopes(t *testing.T) {
 			"maprange":   checks.Maprange.AppliesTo(c.rel),
 			"rawgo":      checks.Rawgo.AppliesTo(c.rel),
 			"syncprim":   checks.Syncprim.AppliesTo(c.rel),
+			"goroutine":  checks.Goroutine.AppliesTo(c.rel),
 		}
 		want := map[string]bool{
 			"wallclock": c.wallclock, "randsource": c.randsource,
 			"maprange": c.maprange, "rawgo": c.rawgo, "syncprim": c.syncprim,
+			"goroutine": c.goroutine,
 		}
 		for name := range want {
 			if got[name] != want[name] {
@@ -69,7 +74,7 @@ func TestAllRegistered(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"wallclock", "randsource", "maprange", "rawgo", "syncprim"} {
+	for _, want := range []string{"wallclock", "randsource", "maprange", "rawgo", "syncprim", "goroutine"} {
 		if !names[want] {
 			t.Errorf("analyzer %q missing from All()", want)
 		}

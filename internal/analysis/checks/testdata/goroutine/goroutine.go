@@ -1,0 +1,58 @@
+// Fixture for the goroutine analyzer: go statements are fine only when the
+// spawning function WaitGroup-joins before returning.
+package fixture
+
+import "sync"
+
+func fireAndForget(work []func()) {
+	for _, w := range work {
+		go w() // want `\[goroutine\] goroutine is never joined in this function`
+	}
+}
+
+func joinedPool(work []func()) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func() { // a joined pool passes without any suppression
+			defer wg.Done()
+			w()
+		}()
+	}
+	wg.Wait()
+}
+
+func joinedPoolPointer(work []func(), wg *sync.WaitGroup) {
+	for _, w := range work {
+		wg.Add(1)
+		go w()
+	}
+	wg.Wait()
+}
+
+func joinElsewhere(wg *sync.WaitGroup, w func()) {
+	wg.Add(1)
+	// The join happens in the caller, invisible to this function.
+	go w() // want `\[goroutine\] goroutine is never joined in this function`
+}
+
+func joinElsewhereAllowed(wg *sync.WaitGroup, w func()) {
+	wg.Add(1)
+	go w() //pagoda:allow goroutine caller joins this group before the sweep assembles
+}
+
+type notSync struct{}
+
+func (notSync) Wait() {}
+
+func lookalikeWaitDoesNotCount(w func()) {
+	var n notSync
+	go w() // want `\[goroutine\] goroutine is never joined in this function`
+	n.Wait()
+}
+
+func sequentialIsFine(work []func()) {
+	for _, w := range work {
+		w()
+	}
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// Dispatcher is the fleet's front end: one engine process that consumes an
+// open-loop arrival stream and routes each task to a node under the
+// configured Policy. Like the single-device runners' spawner threads it
+// sleeps to each arrival instant; unlike them it never blocks on a node's
+// spawn path (Submit queues), so routing decisions always happen at true
+// arrival time with fresh NodeViews.
+type Dispatcher struct {
+	// Arrivals holds one nondecreasing virtual-cycle instant per task.
+	Arrivals []sim.Time
+
+	// Classes optionally gives each task a workload class for
+	// class-affine policies; nil means every task is class 0.
+	Classes []int
+
+	// Policy picks the node per arrival; nil means round-robin.
+	Policy Policy
+
+	// Nodes is the fleet, in index order.
+	Nodes []Node
+}
+
+// Validate panics on a malformed dispatcher: arrival count mismatch,
+// decreasing arrivals, a Classes slice of the wrong length, or an empty
+// fleet. Runners call it before spawning anything.
+func (d Dispatcher) Validate(n int) {
+	if len(d.Nodes) == 0 {
+		panic("cluster: dispatcher with no nodes")
+	}
+	if len(d.Arrivals) != n {
+		panic(fmt.Sprintf("cluster: %d arrivals for %d tasks", len(d.Arrivals), n))
+	}
+	if d.Classes != nil && len(d.Classes) != n {
+		panic(fmt.Sprintf("cluster: %d classes for %d tasks", len(d.Classes), n))
+	}
+	for i := 1; i < n; i++ {
+		if d.Arrivals[i] < d.Arrivals[i-1] {
+			panic(fmt.Sprintf("cluster: arrivals decrease at %d: %v < %v", i, d.Arrivals[i], d.Arrivals[i-1]))
+		}
+	}
+}
+
+// Spawn installs the dispatcher as a front-end process on eng. For each task
+// it writes the Submit instant into recs[ti] and the chosen node index into
+// nodeOf[ti]; Start/Done/Dropped are the owning node's to fill. After the
+// last arrival it closes every node so the fleet drains.
+func (d Dispatcher) Spawn(eng *sim.Engine, recs []serve.Record, nodeOf []int) {
+	d.Validate(len(recs))
+	if len(nodeOf) != len(recs) {
+		panic(fmt.Sprintf("cluster: %d node slots for %d records", len(nodeOf), len(recs)))
+	}
+	pol := d.Policy
+	if pol == nil {
+		pol = NewRoundRobin()
+	}
+	eng.Spawn("dispatcher", func(p *sim.Proc) {
+		views := make([]NodeView, len(d.Nodes))
+		for ti := range d.Arrivals {
+			recs[ti].Submit = WaitUntil(p, d.Arrivals[ti])
+			for i, nd := range d.Nodes {
+				views[i] = nd.View()
+			}
+			t := Task{Index: ti}
+			if d.Classes != nil {
+				t.Class = d.Classes[ti]
+			}
+			n := pol.Pick(p.Now(), t, views)
+			if n < 0 || n >= len(d.Nodes) {
+				panic(fmt.Sprintf("cluster: policy %s picked node %d of %d", pol.Name(), n, len(d.Nodes)))
+			}
+			nodeOf[ti] = n
+			d.Nodes[n].Submit(p, ti)
+		}
+		for _, nd := range d.Nodes {
+			nd.Close()
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package cluster
+
+// xorshift is the fleet's seeded deterministic PRNG — the same generator
+// internal/serve and internal/workloads use — so policy choices are identical
+// across Go versions and runs (the randsource rule).
+type xorshift uint64
+
+func newRand(seed int64) *xorshift {
+	x := xorshift(uint64(seed)*2685821657736338717 + 0x9E3779B97F4A7C15)
+	if x == 0 {
+		x = 0x2545F4914F6CDD1D
+	}
+	return &x
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// intn returns a uniform draw from [0, n).
+func (x *xorshift) intn(n int) int {
+	if n <= 0 {
+		panic("cluster: intn on a non-positive bound")
+	}
+	return int(x.next() % uint64(n))
+}

@@ -21,9 +21,19 @@ type Params struct {
 	// sched.go.
 	Parallel int
 
-	// SLOUs is the p99 latency bound for the serve_* experiments in
-	// microseconds; 0 means the 1000us default. Other experiments ignore it.
+	// SLOUs is the p99 latency bound for the serve_* and cluster_*
+	// experiments in microseconds; 0 means the 1000us default. Other
+	// experiments ignore it.
 	SLOUs float64
+
+	// Nodes is the fleet size for the cluster_* experiments; 0 means 4.
+	// cluster_scaling sweeps its own node-count axis and ignores it.
+	Nodes int
+
+	// Policy names the cluster routing policy (see cluster.PolicyNames);
+	// empty means round-robin. cluster_policy sweeps every policy and
+	// ignores it.
+	Policy string
 }
 
 // DefaultParams returns the laptop-scale defaults.
@@ -35,6 +45,12 @@ func (p Params) fill() Params {
 	}
 	if p.SMMs <= 0 {
 		p.SMMs = 24
+	}
+	if p.Nodes <= 0 {
+		p.Nodes = 4
+	}
+	if p.Policy == "" {
+		p.Policy = "rr"
 	}
 	return p
 }
@@ -48,7 +64,7 @@ func (p Params) runnerCfg() runners.Config {
 // Experiments lists every regenerable artifact (the paper's tables and
 // figures, the §6.2 CPU-scheme bake-off, and the open-loop serving sweeps).
 func Experiments() []string {
-	return []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table5", "cpuschemes", "serve_latency", "serve_capacity"}
+	return []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table5", "cpuschemes", "serve_latency", "serve_capacity", "cluster_scaling", "cluster_policy"}
 }
 
 // Run regenerates one experiment by ID.
@@ -78,6 +94,10 @@ func Run(id string, p Params) (*Report, error) {
 		return ServeLatency(p), nil
 	case "serve_capacity":
 		return ServeCapacity(p), nil
+	case "cluster_scaling":
+		return ClusterScaling(p), nil
+	case "cluster_policy":
+		return ClusterPolicy(p), nil
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
 	}

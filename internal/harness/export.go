@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"strconv"
 )
 
-// WriteCSV renders the report as CSV (header row first).
+// WriteCSV renders the report as CSV (header row first). Seeded experiments
+// append a trailing "# seed,<n>" row so the artifact names the randomness
+// that produced it; parse with FieldsPerRecord disabled.
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(r.Header); err != nil {
@@ -18,8 +21,17 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			return err
 		}
 	}
+	if r.Seed != 0 {
+		if err := cw.Write(seedRow(r)); err != nil {
+			return err
+		}
+	}
 	cw.Flush()
 	return cw.Error()
+}
+
+func seedRow(r *Report) []string {
+	return []string{"# seed", strconv.FormatInt(r.Seed, 10)}
 }
 
 // WriteCSVAll renders several reports as one CSV stream with a leading
@@ -37,6 +49,11 @@ func WriteCSVAll(w io.Writer, reps []*Report) error {
 				return err
 			}
 		}
+		if r.Seed != 0 {
+			if err := cw.Write(append([]string{r.ID}, seedRow(r)...)); err != nil {
+				return err
+			}
+		}
 	}
 	cw.Flush()
 	return cw.Error()
@@ -49,6 +66,7 @@ type jsonReport struct {
 	Header []string           `json:"header"`
 	Rows   [][]string         `json:"rows"`
 	Notes  []string           `json:"notes,omitempty"`
+	Seed   int64              `json:"seed,omitempty"`
 	Values map[string]float64 `json:"values"`
 	Keys   []string           `json:"keys"` // sorted, for stable diffs
 }
@@ -65,6 +83,7 @@ func (r *Report) jsonDoc() jsonReport {
 		Header: r.Header,
 		Rows:   r.Rows,
 		Notes:  r.Notes,
+		Seed:   r.Seed,
 		Values: r.Values,
 		Keys:   keys,
 	}

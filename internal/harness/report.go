@@ -19,6 +19,12 @@ type Report struct {
 	Rows   [][]string
 	Notes  []string
 
+	// Seed is the PRNG seed threaded through the experiment's arrival
+	// generators and routing policies, recorded so an exported artifact names
+	// the randomness that produced it. Zero means the experiment consumed no
+	// seed (closed-loop sweeps), and exports omit it.
+	Seed int64
+
 	// Values holds machine-readable series keyed "row/col" for tests and
 	// EXPERIMENTS.md generation.
 	Values map[string]float64

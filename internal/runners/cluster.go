@@ -1,0 +1,657 @@
+package runners
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/pcie"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// ClusterOpenLoop generalizes OpenLoop over a fleet: N identical devices
+// (each with its own PCIe bus and scheme instance) share one engine and one
+// virtual clock, a front-end dispatcher consumes the arrival stream, and a
+// cluster.Policy routes each task to a node. Per-node admission reuses the
+// serve.Policy shape and is consulted exactly where the single-device runner
+// consults it — at the scheme's spawn point for Pagoda/HyperQ, at arrival
+// for GeMTC — so a 1-node round-robin fleet reproduces the single-device
+// records bit for bit (pinned by TestClusterOneNodeMatchesOpenLoop).
+type ClusterOpenLoop struct {
+	// Arrivals holds one nondecreasing virtual-cycle instant per task.
+	Arrivals []sim.Time
+
+	// Classes optionally assigns each task a workload class for
+	// class-affine dispatch; nil means a single class.
+	Classes []int
+
+	// Nodes is the fleet size; 0 means 1.
+	Nodes int
+
+	// Policy routes arrivals; nil means round-robin. Policies are stateful —
+	// hand each run a freshly constructed one.
+	Policy cluster.Policy
+
+	// Admit builds one fresh admission policy per node (serve.Policy.Admit
+	// satisfies the returned signature); nil admits everything. Fresh-per-
+	// node matters for stateful policies like the token bucket.
+	Admit func() func(now sim.Time, inFlight int) bool
+
+	// Trace, when enabled, receives each completed task's wait/service spans
+	// on a per-node track ("node00/serve-pagoda", ...). Track names are
+	// zero-padded so lexicographic track ordering is node ordering.
+	Trace *trace.Tracer
+}
+
+func (co ClusterOpenLoop) nodes() int {
+	if co.Nodes <= 0 {
+		return 1
+	}
+	return co.Nodes
+}
+
+func (co ClusterOpenLoop) nodeAdmit() func(sim.Time, int) bool {
+	if co.Admit == nil {
+		return nil
+	}
+	return co.Admit()
+}
+
+// ClusterRun is the fleet-level outcome alongside the aggregate Result: the
+// exact per-task records, each task's node assignment, and the per-node
+// accounting the conservation invariant is checked against.
+type ClusterRun struct {
+	Recs   []serve.Record
+	NodeOf []int              // node index per task
+	Views  []cluster.NodeView // final per-node counters
+	Names  []string           // per-node track/display names
+}
+
+// CheckConservation verifies submitted = done + dropped per node and
+// fleet-wide. Harness cells panic on an error so a leaking fleet can never
+// publish numbers.
+func (cr ClusterRun) CheckConservation() error {
+	return cluster.CheckConservation(cr.Views, len(cr.Recs))
+}
+
+// NodeRecords returns the records of the tasks routed to one node, in task
+// order — the per-node latency population.
+func (cr ClusterRun) NodeRecords(node int) []serve.Record {
+	var out []serve.Record
+	for ti, n := range cr.NodeOf {
+		if n == node {
+			out = append(out, cr.Recs[ti])
+		}
+	}
+	return out
+}
+
+// nodeTrack names one node's serve-span track; zero-padding keeps
+// lexicographic order equal to node order for fleets up to 100 nodes.
+func nodeTrack(node int, scheme string) string {
+	return fmt.Sprintf("node%02d/serve-%s", node, scheme)
+}
+
+// addClusterServeSpans exports one node's wait/service decomposition onto
+// its own track, spans named by global task index (deterministic order).
+func addClusterServeSpans(tr *trace.Tracer, track string, recs []serve.Record, nodeOf []int, node int) {
+	if !tr.Enabled() {
+		return
+	}
+	for ti, r := range recs {
+		if nodeOf[ti] != node || r.Dropped {
+			continue
+		}
+		tr.Add(trace.Span{Name: trace.SpanName("wait", int64(ti)), Cat: "wait",
+			Track: track, Start: r.Submit, End: r.Start})
+		tr.Add(trace.Span{Name: trace.SpanName("service", int64(ti)), Cat: "service",
+			Track: track, Start: r.Start, End: r.Done})
+	}
+}
+
+// nodeBase carries the accounting and admission state every backend shares.
+// All fields are touched only under the engine baton.
+type nodeBase struct {
+	name      string
+	view      cluster.NodeView
+	admit     func(sim.Time, int) bool
+	admitted  int
+	completed int
+	closed    bool
+}
+
+func (n *nodeBase) Name() string           { return n.name }
+func (n *nodeBase) View() cluster.NodeView { return n.view }
+func (n *nodeBase) admitNow(t sim.Time) bool {
+	return n.admit == nil || n.admit(t, n.admitted-n.completed)
+}
+
+// ---------------------------------------------------------------------------
+// Pagoda backend
+
+// pagodaNode is one Pagoda runtime behind the dispatcher. Its feeder procs
+// play the single-device runner's spawner threads: tasks are dealt to
+// feeders round-robin in routing order (the fleet analogue of
+// splitRoundRobin), each feeder spawns continuously through its own stream,
+// and the last feeder to drain shuts the runtime down.
+type pagodaNode struct {
+	nodeBase
+	sys     *system
+	rt      *core.Runtime
+	recs    []serve.Record
+	tasks   []workloads.TaskDef
+	cfg     Config
+	queues  [][]int      // per-feeder FIFO, dealt by routing order
+	more    []sim.Signal // one wake signal per feeder
+	streams []*cuda.Stream
+
+	idxOf      map[core.TaskID]int
+	outBytes   map[core.TaskID]int
+	finished   int
+	allSpawned bool
+}
+
+func newPagodaNode(eng *sim.Engine, name string, tasks []workloads.TaskDef,
+	recs []serve.Record, admit func(sim.Time, int) bool, cfg Config) *pagodaNode {
+	n := &pagodaNode{
+		nodeBase: nodeBase{name: name, admit: admit},
+		sys:      newSystemOn(eng, cfg),
+		recs:     recs,
+		tasks:    tasks,
+		cfg:      cfg,
+		idxOf:    map[core.TaskID]int{},
+		outBytes: map[core.TaskID]int{},
+	}
+	n.rt = core.NewRuntime(n.sys.ctx, core.DefaultConfig())
+	n.rt.OnTaskDone = func(id core.TaskID, _, sched, end sim.Time) {
+		ti, ok := n.idxOf[id]
+		if !ok {
+			return
+		}
+		delete(n.idxOf, id)
+		n.recs[ti].Start = sched
+		n.recs[ti].Done = end
+		n.completed++
+		n.view.Done++
+	}
+
+	if cfg.CopyData {
+		n.rt.OnHostObservedDone = func(id core.TaskID) {
+			if b := n.outBytes[id]; b > 0 {
+				delete(n.outBytes, id)
+				n.sys.bus.TransferAsync(pcie.DeviceToHost, b, nil)
+			}
+		}
+		eng.Spawn(name+"-collector", func(p *sim.Proc) {
+			for {
+				p.Sleep(64_000) // 64 us polling cadence, as in the single-device runner
+				if n.allSpawned && len(n.outBytes) == 0 {
+					return
+				}
+				n.rt.PollCompletions(p)
+			}
+		})
+	}
+
+	spawners := cfg.Spawners
+	if spawners <= 0 {
+		spawners = 1
+	}
+	n.queues = make([][]int, spawners)
+	n.more = make([]sim.Signal, spawners)
+	n.streams = make([]*cuda.Stream, spawners)
+	for f := 0; f < spawners; f++ {
+		f := f
+		n.streams[f] = n.sys.ctx.NewStream()
+		eng.Spawn(fmt.Sprintf("%s-feeder%d", name, f), func(p *sim.Proc) { n.feed(p, f) })
+	}
+	return n
+}
+
+func (n *pagodaNode) Submit(_ *sim.Proc, ti int) {
+	f := n.view.Routed % len(n.queues)
+	n.view.Routed++
+	n.queues[f] = append(n.queues[f], ti)
+	n.more[f].Broadcast()
+}
+
+func (n *pagodaNode) Close() {
+	n.closed = true
+	for f := range n.more {
+		n.more[f].Broadcast()
+	}
+}
+
+func (n *pagodaNode) feed(p *sim.Proc, f int) {
+	for {
+		for len(n.queues[f]) == 0 && !n.closed {
+			n.more[f].Wait(p)
+		}
+		if len(n.queues[f]) == 0 {
+			break
+		}
+		ti := n.queues[f][0]
+		n.queues[f] = n.queues[f][1:]
+		td := &n.tasks[ti]
+		if !n.admitNow(p.Now()) {
+			n.recs[ti].Dropped = true
+			n.view.Dropped++
+			continue
+		}
+		n.admitted++
+		n.view.Started++
+		if n.cfg.CopyData && td.InBytes > 0 {
+			n.streams[f].MemcpyH2DPipelined(p, td.InBytes, nil)
+		}
+		id := n.rt.TaskSpawn(p, core.TaskSpec{
+			Threads:   td.Threads,
+			Blocks:    td.Blocks,
+			SharedMem: td.SharedMem,
+			Sync:      td.Sync,
+			ArgBytes:  td.ArgBytes,
+			Kernel:    func(tc *core.TaskCtx) { td.Kernel(tc) },
+		})
+		n.idxOf[id] = ti
+		if n.cfg.CopyData && td.OutBytes > 0 {
+			n.outBytes[id] = td.OutBytes
+		}
+	}
+	n.finished++
+	if n.finished < len(n.queues) {
+		return
+	}
+	// The last feeder to finish drains the node.
+	n.allSpawned = true
+	n.rt.WaitAll(p)
+	for _, st := range n.streams {
+		st.Sync(p)
+	}
+	n.rt.Shutdown(p)
+}
+
+// RunPagodaCluster executes timed arrivals on a Pagoda fleet. Per-task Start
+// is the instant the owning node's scheduler warp picked the task up and
+// Done its device-side completion, exactly as in RunPagodaOpenLoop.
+func RunPagodaCluster(tasks []workloads.TaskDef, co ClusterOpenLoop, cfg Config) (Result, ClusterRun) {
+	eng := sim.New()
+	recs := make([]serve.Record, len(tasks))
+	nodes := make([]*pagodaNode, co.nodes())
+	fleet := make([]cluster.Node, len(nodes))
+	for i := range nodes {
+		nodes[i] = newPagodaNode(eng, fmt.Sprintf("node%02d", i), tasks, recs, co.nodeAdmit(), cfg)
+		fleet[i] = nodes[i]
+	}
+	nodeOf := make([]int, len(tasks))
+	cluster.Dispatcher{Arrivals: co.Arrivals, Classes: co.Classes, Policy: co.Policy, Nodes: fleet}.
+		Spawn(eng, recs, nodeOf)
+	end := eng.Run()
+
+	res := openLoopResult(end, recs)
+	cr := ClusterRun{Recs: recs, NodeOf: nodeOf,
+		Views: make([]cluster.NodeView, len(nodes)), Names: make([]string, len(nodes))}
+	var occ, iu float64
+	for i, n := range nodes {
+		cr.Views[i] = n.View()
+		cr.Names[i] = nodeTrack(i, "pagoda")
+		occ += n.rt.TaskWarpOccupancy(end)
+		iu += n.sys.dev.Metrics().IssueUtil
+		addClusterServeSpans(co.Trace, cr.Names[i], recs, nodeOf, i)
+	}
+	res.Occupancy = occ / float64(len(nodes))
+	res.IssueUtil = iu / float64(len(nodes))
+	return res, cr
+}
+
+// ---------------------------------------------------------------------------
+// HyperQ backend
+
+// hyperqNode is one 32-stream HyperQ device behind the dispatcher. Its
+// single feeder proc plays the single-device runner's host thread: tasks
+// launch in routing order, each on the stream picked by its node-local
+// sequence number (the fleet analogue of streams[ti%32] — dropped tasks
+// still consume a sequence slot, preserving the single-device pattern).
+type hyperqNode struct {
+	nodeBase
+	eng     *sim.Engine
+	sys     *system
+	recs    []serve.Record
+	tasks   []workloads.TaskDef
+	cfg     Config
+	streams []*cuda.Stream
+	queue   []int
+	seq     int // node-local arrival sequence, advanced per pop
+	more    sim.Signal
+	doneSig sim.Signal
+	endAt   sim.Time // instant this node drained (streams synced)
+}
+
+const hyperqNodeStreams = 32
+
+func newHyperQNode(eng *sim.Engine, name string, tasks []workloads.TaskDef,
+	recs []serve.Record, admit func(sim.Time, int) bool, cfg Config) *hyperqNode {
+	n := &hyperqNode{
+		nodeBase: nodeBase{name: name, admit: admit},
+		eng:      eng,
+		recs:     recs,
+		tasks:    tasks,
+		cfg:      cfg,
+		streams:  make([]*cuda.Stream, hyperqNodeStreams),
+	}
+	n.sys = newSystemOn(eng, cfg)
+	for i := range n.streams {
+		n.streams[i] = n.sys.ctx.NewStream()
+	}
+	eng.Spawn(name+"-host", n.host)
+	return n
+}
+
+func (n *hyperqNode) Submit(_ *sim.Proc, ti int) {
+	n.view.Routed++
+	n.queue = append(n.queue, ti)
+	n.more.Broadcast()
+}
+
+func (n *hyperqNode) Close() {
+	n.closed = true
+	n.more.Broadcast()
+}
+
+func (n *hyperqNode) finish(ti int) {
+	n.recs[ti].Done = n.eng.Now()
+	n.completed++
+	n.view.Done++
+	n.doneSig.Broadcast()
+}
+
+func (n *hyperqNode) host(p *sim.Proc) {
+	for {
+		for len(n.queue) == 0 && !n.closed {
+			n.more.Wait(p)
+		}
+		if len(n.queue) == 0 {
+			break
+		}
+		ti := n.queue[0]
+		n.queue = n.queue[1:]
+		seq := n.seq
+		n.seq++
+		td := &n.tasks[ti]
+		if !n.admitNow(p.Now()) {
+			n.recs[ti].Dropped = true
+			n.view.Dropped++
+			continue
+		}
+		n.admitted++
+		n.view.Started++
+		stream := n.streams[seq%hyperqNodeStreams]
+		if n.cfg.CopyData && td.InBytes > 0 {
+			stream.MemcpyH2D(p, td.InBytes, nil)
+		}
+		h := stream.LaunchHooked(p, hyperqSpec(td), func() {
+			n.recs[ti].Start = n.eng.Now()
+		})
+		if n.cfg.CopyData && td.OutBytes > 0 {
+			// The output copy sits right behind its kernel in the stream FIFO;
+			// its delivery is the task's completion.
+			stream.MemcpyD2H(p, td.OutBytes, func() { n.finish(ti) })
+		} else {
+			// No output copy: completion is the kernel's own end, observed by
+			// a waiter process.
+			n.eng.Spawn(fmt.Sprintf("%s-wait%d", n.name, ti), func(wp *sim.Proc) {
+				h.Wait(wp)
+				n.finish(ti)
+			})
+		}
+	}
+	for n.completed < n.admitted {
+		n.doneSig.Wait(p)
+	}
+	for _, st := range n.streams {
+		st.Sync(p)
+	}
+	n.endAt = n.eng.Now()
+}
+
+// RunHyperQCluster executes timed arrivals on a HyperQ fleet: each admitted
+// task runs as its own kernel over the owning node's 32 streams. Start/Done
+// semantics match RunHyperQOpenLoop.
+func RunHyperQCluster(tasks []workloads.TaskDef, co ClusterOpenLoop, cfg Config) (Result, ClusterRun) {
+	eng := sim.New()
+	recs := make([]serve.Record, len(tasks))
+	nodes := make([]*hyperqNode, co.nodes())
+	fleet := make([]cluster.Node, len(nodes))
+	for i := range nodes {
+		nodes[i] = newHyperQNode(eng, fmt.Sprintf("node%02d", i), tasks, recs, co.nodeAdmit(), cfg)
+		fleet[i] = nodes[i]
+	}
+	nodeOf := make([]int, len(tasks))
+	cluster.Dispatcher{Arrivals: co.Arrivals, Classes: co.Classes, Policy: co.Policy, Nodes: fleet}.
+		Spawn(eng, recs, nodeOf)
+	eng.Run()
+
+	// The fleet's elapsed time is the last node's drain instant, matching the
+	// single-device runner's endTime capture.
+	var end sim.Time
+	for _, n := range nodes {
+		if n.endAt > end {
+			end = n.endAt
+		}
+	}
+	res := openLoopResult(end, recs)
+	cr := ClusterRun{Recs: recs, NodeOf: nodeOf,
+		Views: make([]cluster.NodeView, len(nodes)), Names: make([]string, len(nodes))}
+	var occ, iu float64
+	for i, n := range nodes {
+		cr.Views[i] = n.View()
+		cr.Names[i] = nodeTrack(i, "hyperq")
+		m := n.sys.dev.Metrics()
+		occ += m.AvgOccupancy
+		iu += m.IssueUtil
+		addClusterServeSpans(co.Trace, cr.Names[i], recs, nodeOf, i)
+	}
+	res.Occupancy = occ / float64(len(nodes))
+	res.IssueUtil = iu / float64(len(nodes))
+	return res, cr
+}
+
+// ---------------------------------------------------------------------------
+// GeMTC backend
+
+// gemtcNode is one GeMTC SuperKernel device behind the dispatcher. Admission
+// is consulted at the arrival instant (the single-device submit proc never
+// blocks), admitted tasks join the node's host-side FIFO, and a dispatch
+// proc launches a SuperKernel over the queue's contents whenever the device
+// is free — batch semantics identical to RunGeMTCOpenLoop.
+type gemtcNode struct {
+	nodeBase
+	sys     *system
+	recs    []serve.Record
+	tasks   []workloads.TaskDef
+	cfg     Config
+	pending []int
+	more    sim.Signal
+	endAt   sim.Time // instant this node drained (last batch done)
+}
+
+func newGeMTCNode(eng *sim.Engine, name string, tasks []workloads.TaskDef,
+	recs []serve.Record, admit func(sim.Time, int) bool, cfg Config) *gemtcNode {
+	n := &gemtcNode{
+		nodeBase: nodeBase{name: name, admit: admit},
+		sys:      newSystemOn(eng, cfg),
+		recs:     recs,
+		tasks:    tasks,
+		cfg:      cfg,
+	}
+	eng.Spawn(name+"-dispatch", n.dispatch)
+	return n
+}
+
+func (n *gemtcNode) Submit(p *sim.Proc, ti int) {
+	n.view.Routed++
+	if !n.admitNow(p.Now()) {
+		n.recs[ti].Dropped = true
+		n.view.Dropped++
+		return
+	}
+	n.admitted++
+	n.pending = append(n.pending, ti)
+	n.more.Broadcast()
+}
+
+func (n *gemtcNode) Close() {
+	n.closed = true
+	n.more.Broadcast()
+}
+
+func (n *gemtcNode) dispatch(p *sim.Proc) {
+	batchCap := n.cfg.GeMTCBatch
+	if batchCap <= 0 {
+		batchCap = 1536
+	}
+	workerThreads := n.cfg.GeMTCThreads
+	if workerThreads <= 0 {
+		for i := range n.tasks {
+			if n.tasks[i].Threads > workerThreads {
+				workerThreads = n.tasks[i].Threads
+			}
+		}
+	}
+	if workerThreads == 0 {
+		workerThreads = 128
+	}
+	occ := gpu.TheoreticalOccupancy(n.sys.dev.Cfg, gpu.LaunchSpec{
+		BlockThreads: workerThreads, RegsPerThread: 32,
+	})
+	workers := occ.TBsPerSMM * n.sys.dev.Cfg.NumSMMs
+	queueSite := gpu.NewAtomicSite(n.sys.eng, n.sys.dev.Cfg.AtomicGlobalLatency)
+
+	stream := n.sys.ctx.NewStream()
+	for {
+		for len(n.pending) == 0 && !n.closed {
+			n.more.Wait(p)
+		}
+		if len(n.pending) == 0 {
+			break
+		}
+		b := len(n.pending)
+		if b > batchCap {
+			b = batchCap
+		}
+		batch := append([]int(nil), n.pending[:b]...)
+		n.pending = n.pending[b:]
+		n.view.Started += len(batch)
+		launchStart := n.sys.eng.Now()
+
+		desc := 64 * len(batch)
+		in := 0
+		for _, ti := range batch {
+			if n.cfg.CopyData {
+				in += n.tasks[ti].InBytes
+			}
+		}
+		stream.MemcpyH2D(p, desc+in, nil)
+
+		next := 0                       // single FIFO queue head
+		claimed := make([]int, workers) // per-worker claimed batch position
+		h := stream.Launch(p, gpu.LaunchSpec{
+			Name:          "SuperKernel",
+			GridDim:       workers,
+			BlockThreads:  workerThreads,
+			RegsPerThread: 32,
+			Fn: func(c *gpu.Ctx) {
+				for {
+					if c.WarpInBlock == 0 {
+						c.AtomicGlobal(queueSite)
+						if next < len(batch) {
+							claimed[c.BlockIdx] = next
+							next++
+						} else {
+							claimed[c.BlockIdx] = -1
+						}
+					}
+					c.SyncBlock()
+					idx := claimed[c.BlockIdx]
+					if idx < 0 {
+						return
+					}
+					td := &n.tasks[batch[idx]]
+					td.Kernel(&warpAdapter{
+						g:        c,
+						threads:  workerThreads,
+						blocks:   1,
+						blockIdx: 0,
+						warpInBl: c.WarpInBlock,
+					})
+					c.SyncBlock()
+				}
+			},
+		})
+		h.Wait(p)
+
+		out := 0
+		for _, ti := range batch {
+			if n.cfg.CopyData {
+				out += n.tasks[ti].OutBytes
+			}
+		}
+		if out > 0 {
+			stream.MemcpyD2H(p, out, nil)
+			stream.Sync(p)
+		}
+		batchEnd := n.sys.eng.Now()
+		for _, ti := range batch {
+			n.recs[ti].Start = launchStart
+			n.recs[ti].Done = batchEnd
+			n.completed++
+			n.view.Done++
+		}
+	}
+	n.endAt = n.sys.eng.Now()
+}
+
+// RunGeMTCCluster executes timed arrivals on a GeMTC fleet. A task's Start
+// is its batch's launch on the owning node and its Done the whole batch's
+// end — the Fig. 10 batch property, now per node.
+func RunGeMTCCluster(tasks []workloads.TaskDef, co ClusterOpenLoop, cfg Config) (Result, ClusterRun) {
+	eng := sim.New()
+	recs := make([]serve.Record, len(tasks))
+	nodes := make([]*gemtcNode, co.nodes())
+	fleet := make([]cluster.Node, len(nodes))
+	for i := range nodes {
+		nodes[i] = newGeMTCNode(eng, fmt.Sprintf("node%02d", i), tasks, recs, co.nodeAdmit(), cfg)
+		fleet[i] = nodes[i]
+	}
+	nodeOf := make([]int, len(tasks))
+	cluster.Dispatcher{Arrivals: co.Arrivals, Classes: co.Classes, Policy: co.Policy, Nodes: fleet}.
+		Spawn(eng, recs, nodeOf)
+	eng.Run()
+
+	// The fleet's elapsed time is the last node's drain instant, matching the
+	// single-device runner's endTime capture.
+	var end sim.Time
+	for _, n := range nodes {
+		if n.endAt > end {
+			end = n.endAt
+		}
+	}
+	res := openLoopResult(end, recs)
+	cr := ClusterRun{Recs: recs, NodeOf: nodeOf,
+		Views: make([]cluster.NodeView, len(nodes)), Names: make([]string, len(nodes))}
+	var occ, iu float64
+	for i, n := range nodes {
+		cr.Views[i] = n.View()
+		cr.Names[i] = nodeTrack(i, "gemtc")
+		m := n.sys.dev.Metrics()
+		occ += m.AvgOccupancy
+		iu += m.IssueUtil
+		addClusterServeSpans(co.Trace, cr.Names[i], recs, nodeOf, i)
+	}
+	res.Occupancy = occ / float64(len(nodes))
+	res.IssueUtil = iu / float64(len(nodes))
+	return res, cr
+}

@@ -1,0 +1,38 @@
+package runners
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+	"repro/internal/workloads"
+)
+
+// BenchmarkCluster times one 4-node fleet run per GPU scheme — the
+// cluster-scaling sweep's unit of work (256 tasks round-robined across four
+// full 24-SMM devices on a single engine).
+func BenchmarkCluster(b *testing.B) {
+	tasks := workloads.Mandelbrot().Make(workloads.Options{Tasks: 256, Threads: 128, Seed: 1})
+	cfg := DefaultConfig()
+	cfg.SMMs = 24
+	arr := serve.Poisson{Rate: 4 * 64e3, Seed: 1}.Times(len(tasks))
+	runs := []struct {
+		name string
+		run  func([]workloads.TaskDef, ClusterOpenLoop, Config) (Result, ClusterRun)
+	}{
+		{"pagoda", RunPagodaCluster},
+		{"hyperq", RunHyperQCluster},
+		{"gemtc", RunGeMTCCluster},
+	}
+	for _, r := range runs {
+		b.Run(r.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				co := ClusterOpenLoop{Arrivals: arr, Nodes: 4, Policy: cluster.NewRoundRobin()}
+				_, cr := r.run(tasks, co, cfg)
+				if err := cr.CheckConservation(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

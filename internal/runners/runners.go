@@ -111,8 +111,13 @@ type system struct {
 	ctx *cuda.Context
 }
 
-func newSystem(cfg Config) *system {
-	eng := sim.New()
+func newSystem(cfg Config) *system { return newSystemOn(sim.New(), cfg) }
+
+// newSystemOn builds one device + bus + context stack on an existing engine.
+// Single-device runs own their engine (newSystem); cluster runs place N of
+// these stacks on one shared engine so the whole fleet advances under a
+// single virtual clock.
+func newSystemOn(eng *sim.Engine, cfg Config) *system {
 	gcfg := gpu.TitanX()
 	if cfg.SMMs > 0 {
 		gcfg.NumSMMs = cfg.SMMs

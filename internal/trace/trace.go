@@ -122,16 +122,17 @@ func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 	return enc.Encode(out)
 }
 
-// Summary returns per-category span counts and busy time, for quick
-// programmatic inspection.
-func (t *Tracer) Summary() map[string]struct {
+// CatStats aggregates the spans of one category: how many and how much busy
+// time (cycles).
+type CatStats struct {
 	Count int
 	Busy  float64
-} {
-	sum := map[string]struct {
-		Count int
-		Busy  float64
-	}{}
+}
+
+// Summary returns per-category span counts and busy time, for quick
+// programmatic inspection.
+func (t *Tracer) Summary() map[string]CatStats {
+	sum := map[string]CatStats{}
 	for _, s := range t.spans {
 		e := sum[s.Cat]
 		e.Count++
@@ -139,6 +140,40 @@ func (t *Tracer) Summary() map[string]struct {
 		sum[s.Cat] = e
 	}
 	return sum
+}
+
+// SummaryByTrack returns per-track, per-category aggregates — the grouping a
+// merged multi-node trace is read by (tracks are "node00/serve-pagoda", ...,
+// so sorting track names groups by node). Use Tracks for the stable order.
+func (t *Tracer) SummaryByTrack() map[string]map[string]CatStats {
+	sum := map[string]map[string]CatStats{}
+	for _, s := range t.spans {
+		per := sum[s.Track]
+		if per == nil {
+			per = map[string]CatStats{}
+			sum[s.Track] = per
+		}
+		e := per[s.Cat]
+		e.Count++
+		e.Busy += s.End - s.Start
+		per[s.Cat] = e
+	}
+	return sum
+}
+
+// Tracks returns the recorded track names sorted lexicographically — the
+// same stable order WriteChromeJSON assigns thread lanes in.
+func (t *Tracer) Tracks() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range t.spans {
+		if !seen[s.Track] {
+			seen[s.Track] = true
+			out = append(out, s.Track)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // SpanName formats a numbered span name.
