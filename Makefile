@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check lint test vet race race-harness bench-engine bench-serve bench-cluster
+.PHONY: check lint test vet race race-harness perf perf-quick perf-update bench-engine bench-serve bench-cluster
 
-# check is the pre-merge gate: the determinism analyzers (pagodavet), go vet,
-# the full test suite, race detection across the internal tree, and one pass
-# of the engine benchmarks to catch gross perf regressions. lint runs first
-# so a wall-clock read or stray goroutine fails the build before anything
-# expensive starts.
-check: lint vet test race bench-engine
+# check is the pre-merge gate, in order: the determinism analyzers
+# (pagodavet), go vet, the full test suite, race detection across the
+# internal tree, and the quick tier of the perf-regression gate (pagodaperf
+# against the BENCH_*.json baselines). lint runs first so a wall-clock read
+# or stray goroutine fails the build before anything expensive starts.
+check: lint vet test race perf-quick
 
 # lint runs the project's determinism & sim-safety analyzers. Any
 # unsuppressed finding (e.g. a time.Now injected into internal/sim) exits
@@ -34,6 +34,23 @@ race:
 # the cell scheduler.
 race-harness:
 	$(GO) test -race -run 'TestAllExperimentsDeterministicAndParallelSafe' ./internal/harness/
+
+# perf is the machine-verified performance-regression gate (cmd/pagodaperf):
+# it re-runs every bench command recorded in BENCH_{sim,serve,cluster}.json,
+# extracts the declared metrics, and fails on drift past each tolerance band.
+# perf-quick runs only the metrics marked quick (the hot-path micro
+# benchmarks) and is part of `make check`; the full set re-runs the
+# experiment sweeps and takes minutes. perf-update re-measures everything and
+# ratchets the baselines with host/date/git-rev provenance — run it (on a
+# quiet machine) after an intentional perf change, and commit the diff.
+perf:
+	$(GO) run ./cmd/pagodaperf
+
+perf-quick:
+	$(GO) run ./cmd/pagodaperf -quick
+
+perf-update:
+	$(GO) run ./cmd/pagodaperf -update
 
 bench-engine:
 	$(GO) test -bench=BenchmarkEngine -benchtime=1x -run='^$$' ./internal/sim/ .

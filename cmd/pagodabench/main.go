@@ -66,9 +66,10 @@ func run(out, errw io.Writer, args []string) int {
 	p := harness.Params{Tasks: *tasks, SMMs: *smms, Seed: *seed, Parallel: *parallel,
 		SLOUs: *slo, Nodes: *nodes, Policy: *policy}
 
-	ids := strings.Split(*exp, ",")
-	if *exp == "all" {
-		ids = harness.Experiments()
+	ids, err := expandExpIDs(*exp)
+	if err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
 	}
 	multi := len(ids) > 1
 
@@ -87,11 +88,13 @@ func run(out, errw io.Writer, args []string) int {
 			reps = append(reps, rep)
 		default:
 			rep.Fprint(out)
-			fmt.Fprintf(out, "(%s regenerated in %.1fs)\n\n", id, time.Since(start).Seconds())
+			// The timing footer goes to stderr: it is the one line that varies
+			// between runs, and keeping it off stdout keeps text output
+			// byte-identical across repeats, like the csv/json formats.
+			fmt.Fprintf(errw, "(%s regenerated in %.1fs)\n", id, time.Since(start).Seconds())
 		}
 	}
 
-	var err error
 	switch {
 	case *format == "csv" && multi:
 		err = harness.WriteCSVAll(out, reps)
@@ -107,4 +110,38 @@ func run(out, errw io.Writer, args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// expandExpIDs resolves the -exp flag into experiment ids: "all" means every
+// experiment; otherwise the comma-separated list is cleaned up the way a
+// shell-assembled flag needs — surrounding whitespace trimmed, empty entries
+// (trailing or doubled commas) dropped, repeats deduped keeping first
+// position. Unknown ids fail up front with the valid set, before any
+// experiment burns minutes of simulation.
+func expandExpIDs(expr string) ([]string, error) {
+	valid := harness.Experiments()
+	if strings.TrimSpace(expr) == "all" {
+		return valid, nil
+	}
+	known := make(map[string]bool, len(valid))
+	for _, id := range valid {
+		known[id] = true
+	}
+	seen := make(map[string]bool)
+	var ids []string
+	for _, id := range strings.Split(expr, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" || seen[id] {
+			continue
+		}
+		if !known[id] {
+			return nil, fmt.Errorf("unknown experiment %q (valid: all, %s)", id, strings.Join(valid, ", "))
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("-exp %q names no experiments (valid: all, %s)", expr, strings.Join(valid, ", "))
+	}
+	return ids, nil
 }

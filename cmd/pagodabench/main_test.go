@@ -103,6 +103,84 @@ func TestParallelFlagOutputIdentical(t *testing.T) {
 	}
 }
 
+// TestExpListCleanup pins the -exp list fixes: trailing commas, surrounding
+// whitespace and duplicate ids must all resolve to one clean run.
+func TestExpListCleanup(t *testing.T) {
+	cases := []struct {
+		name, expr string
+	}{
+		{"trailing comma", "cpuschemes,"},
+		{"whitespace", " cpuschemes , table3 "},
+		{"duplicates", "cpuschemes,cpuschemes,table3,cpuschemes"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errw strings.Builder
+			code := run(&out, &errw, []string{"-exp", c.expr, "-tasks", "48", "-smms", "4", "-format", "csv"})
+			if code != 0 {
+				t.Fatalf("run(-exp %q) = %d, stderr %q", c.expr, code, errw.String())
+			}
+			if !strings.Contains(out.String(), "OpenMP") {
+				t.Errorf("cleaned run missing cpuschemes output:\n%s", out.String())
+			}
+		})
+	}
+	// Dedup must mean exactly one run: a doubled id emits its header once.
+	var out, errw strings.Builder
+	if code := run(&out, &errw, []string{"-exp", "cpuschemes,cpuschemes", "-tasks", "48", "-smms", "4", "-format", "csv"}); code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errw.String())
+	}
+	if n := strings.Count(out.String(), "Benchmark,OpenMP"); n != 1 {
+		t.Errorf("duplicate id ran %d times, want 1:\n%s", n, out.String())
+	}
+}
+
+// TestExpListErrors pins the empty-list and unknown-id error paths; the
+// unknown-id message must teach the valid set.
+func TestExpListErrors(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run(&out, &errw, []string{"-exp", ",,"}); code != 2 {
+		t.Fatalf("run(-exp ,,) = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "names no experiments") {
+		t.Errorf("stderr = %q, want empty-list error", errw.String())
+	}
+	errw.Reset()
+	if code := run(&out, &errw, []string{"-exp", "fig5,bogus"}); code != 2 {
+		t.Fatalf("run(-exp fig5,bogus) = %d, want 2", code)
+	}
+	for _, want := range []string{"unknown experiment", `"bogus"`, "fig5", "cpuschemes", "all"} {
+		if !strings.Contains(errw.String(), want) {
+			t.Errorf("unknown-id error %q missing %q", errw.String(), want)
+		}
+	}
+}
+
+// TestTextStdoutByteIdentical pins the stdout-purity fix: text mode was the
+// one format whose output varied run to run, because the timing footer
+// interpolated wall clock into stdout. The footer now goes to stderr, so two
+// identical invocations must produce identical stdout.
+func TestTextStdoutByteIdentical(t *testing.T) {
+	outs := make([]string, 2)
+	for i := range outs {
+		var out, errw strings.Builder
+		code := run(&out, &errw, []string{"-exp", "table3,cpuschemes", "-tasks", "48", "-smms", "4"})
+		if code != 0 {
+			t.Fatalf("run = %d, stderr %q", code, errw.String())
+		}
+		if !strings.Contains(errw.String(), "regenerated in") {
+			t.Errorf("timing footer missing from stderr: %q", errw.String())
+		}
+		if strings.Contains(out.String(), "regenerated in") {
+			t.Errorf("timing footer leaked into stdout:\n%s", out.String())
+		}
+		outs[i] = out.String()
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("text stdout differs between runs:\n--- 1 ---\n%s\n--- 2 ---\n%s", outs[0], outs[1])
+	}
+}
+
 // TestRunRejectsUnknownExperiment pins the error path and exit code.
 func TestRunRejectsUnknownExperiment(t *testing.T) {
 	var out, errw strings.Builder
@@ -155,6 +233,27 @@ func TestClusterCSVCarriesSeedRow(t *testing.T) {
 	last := recs[len(recs)-1]
 	if len(last) != 2 || last[0] != "# seed" || last[1] != "9" {
 		t.Errorf("last CSV row = %v, want [# seed 9]", last)
+	}
+}
+
+// TestSeedZeroExported pins the -seed 0 provenance fix through the CLI: an
+// explicit zero seed is still a seed, and the artifact must name it.
+func TestSeedZeroExported(t *testing.T) {
+	var out, errw strings.Builder
+	code := run(&out, &errw, []string{"-exp", "cluster_scaling", "-tasks", "48", "-smms", "4",
+		"-seed", "0", "-format", "csv"})
+	if code != 0 {
+		t.Fatalf("run(-seed 0) = %d, stderr %q", code, errw.String())
+	}
+	rd := csv.NewReader(strings.NewReader(out.String()))
+	rd.FieldsPerRecord = -1
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := recs[len(recs)-1]
+	if len(last) != 2 || last[0] != "# seed" || last[1] != "0" {
+		t.Errorf("last CSV row = %v, want [# seed 0]", last)
 	}
 }
 

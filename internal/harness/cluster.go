@@ -120,7 +120,7 @@ func ClusterScaling(p Params) *Report {
 		fmt.Sprintf("Fleet scaling (MB, %d tasks, Poisson arrivals, policy %s, p99 SLO %.0fus, * = SLO missed)",
 			n, p.Policy, slo/1e3),
 		header...)
-	r.Seed = p.Seed
+	r.setSeed(p.Seed)
 
 	b, _ := workloads.ByName("MB")
 	opt := workloads.Options{Tasks: n, Threads: 128, Seed: p.Seed}
@@ -242,7 +242,7 @@ func ClusterPolicy(p Params) *Report {
 		fmt.Sprintf("Dispatch policies on a %d-node fleet (mixed %v, %d tasks, queue32/node, p99 SLO %.0fus)",
 			nodes, clusterClassBenches, n, slo/1e3),
 		"Arrivals", "Policy", "Scheme", "p50(us)", "p99(us)", "max(us)", "drops", "goodput", "imbalance")
-	r.Seed = p.Seed
+	r.setSeed(p.Seed)
 
 	type policyCell struct {
 		arr    string

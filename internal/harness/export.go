@@ -21,17 +21,13 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			return err
 		}
 	}
-	if r.Seed != 0 {
-		if err := cw.Write(seedRow(r)); err != nil {
+	if r.Seeded {
+		if err := cw.Write([]string{"# seed", strconv.FormatInt(r.Seed, 10)}); err != nil {
 			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
-}
-
-func seedRow(r *Report) []string {
-	return []string{"# seed", strconv.FormatInt(r.Seed, 10)}
 }
 
 // WriteCSVAll renders several reports as one CSV stream with a leading
@@ -49,8 +45,12 @@ func WriteCSVAll(w io.Writer, reps []*Report) error {
 				return err
 			}
 		}
-		if r.Seed != 0 {
-			if err := cw.Write(append([]string{r.ID}, seedRow(r)...)); err != nil {
+		// The seed row leads with the "#" marker in the multi-experiment
+		// stream too (the experiment id moves to column 2): consumers filter
+		// comment rows with ^#, and the single-report form already puts the
+		// marker first.
+		if r.Seeded {
+			if err := cw.Write([]string{"# seed", r.ID, strconv.FormatInt(r.Seed, 10)}); err != nil {
 				return err
 			}
 		}
@@ -59,14 +59,16 @@ func WriteCSVAll(w io.Writer, reps []*Report) error {
 	return cw.Error()
 }
 
-// jsonReport is the machine-readable schema.
+// jsonReport is the machine-readable schema. Seed is a pointer so the field
+// distinguishes "unseeded" (absent) from "seeded with 0" (present): omitempty
+// on a plain int64 would silently drop an explicit -seed 0 run's provenance.
 type jsonReport struct {
 	ID     string             `json:"id"`
 	Title  string             `json:"title"`
 	Header []string           `json:"header"`
 	Rows   [][]string         `json:"rows"`
 	Notes  []string           `json:"notes,omitempty"`
-	Seed   int64              `json:"seed,omitempty"`
+	Seed   *int64             `json:"seed,omitempty"`
 	Values map[string]float64 `json:"values"`
 	Keys   []string           `json:"keys"` // sorted, for stable diffs
 }
@@ -77,13 +79,18 @@ func (r *Report) jsonDoc() jsonReport {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	var seed *int64
+	if r.Seeded {
+		s := r.Seed
+		seed = &s
+	}
 	return jsonReport{
 		ID:     r.ID,
 		Title:  r.Title,
 		Header: r.Header,
 		Rows:   r.Rows,
 		Notes:  r.Notes,
-		Seed:   r.Seed,
+		Seed:   seed,
 		Values: r.Values,
 		Keys:   keys,
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -55,6 +56,96 @@ func TestWriteCSVAll(t *testing.T) {
 	}
 	if recs[4][1] != "MB" || recs[4][3] != "x" {
 		t.Fatalf("figY row wrong: %v", recs[4])
+	}
+}
+
+// TestSeedZeroProvenance pins the -seed 0 fix: seededness is tracked
+// explicitly, so an experiment seeded with 0 still names its randomness in
+// both export formats, while an unseeded report stays clean.
+func TestSeedZeroProvenance(t *testing.T) {
+	seeded := sampleReport()
+	seeded.setSeed(0)
+	var buf bytes.Buffer
+	if err := seeded.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rd := csv.NewReader(&buf)
+	rd.FieldsPerRecord = -1
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := recs[len(recs)-1]
+	if len(last) != 2 || last[0] != "# seed" || last[1] != "0" {
+		t.Errorf("seed-0 CSV trailing row = %v, want [# seed 0]", last)
+	}
+
+	buf.Reset()
+	if err := seeded.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := doc["seed"]; !ok || v != float64(0) {
+		t.Errorf("seed-0 JSON seed = %v (present %v), want 0", v, ok)
+	}
+
+	buf.Reset()
+	if err := sampleReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc = nil
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["seed"]; ok {
+		t.Errorf("unseeded JSON still carries a seed field: %v", doc["seed"])
+	}
+}
+
+// TestSeedRowMarkerColumnOne pins the comment-row convention in both CSV
+// forms: the "#" marker leads the row, so consumers filtering ^# drop seed
+// rows from single-report and multi-experiment streams alike.
+func TestSeedRowMarkerColumnOne(t *testing.T) {
+	r := sampleReport()
+	r.setSeed(7)
+	r2 := newReport("figY", "Second", "Benchmark")
+	r2.addRow("MM")
+	r2.setSeed(9)
+
+	var buf bytes.Buffer
+	if err := WriteCSVAll(&buf, []*Report{r, r2}); err != nil {
+		t.Fatal(err)
+	}
+	rd := csv.NewReader(&buf)
+	rd.FieldsPerRecord = -1
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seedRows [][]string
+	for _, rec := range recs {
+		if strings.HasPrefix(rec[0], "#") {
+			seedRows = append(seedRows, rec)
+		}
+	}
+	if len(seedRows) != 2 {
+		t.Fatalf("^#-filterable rows = %d, want 2: %v", len(seedRows), recs)
+	}
+	want := [][]string{{"# seed", "figX", "7"}, {"# seed", "figY", "9"}}
+	for i, rec := range seedRows {
+		if len(rec) != 3 || rec[0] != want[i][0] || rec[1] != want[i][1] || rec[2] != want[i][2] {
+			t.Errorf("seed row %d = %v, want %v", i, rec, want[i])
+		}
+	}
+	// No data row may be mistaken for a comment: every non-seed row leads
+	// with the experiment id.
+	for _, rec := range recs {
+		if !strings.HasPrefix(rec[0], "#") && rec[0] != "experiment" && rec[0] != "figX" && rec[0] != "figY" {
+			t.Errorf("row %v leads with neither id, header nor marker", rec)
+		}
 	}
 }
 

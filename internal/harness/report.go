@@ -21,9 +21,13 @@ type Report struct {
 
 	// Seed is the PRNG seed threaded through the experiment's arrival
 	// generators and routing policies, recorded so an exported artifact names
-	// the randomness that produced it. Zero means the experiment consumed no
-	// seed (closed-loop sweeps), and exports omit it.
-	Seed int64
+	// the randomness that produced it. Seeded says whether the experiment
+	// consumed one at all (closed-loop sweeps do not, and their exports omit
+	// it): tracking seededness explicitly keeps an explicit -seed 0 run from
+	// being mistaken for an unseeded one, which the old Seed != 0 sentinel
+	// gating did. Set both through setSeed.
+	Seed   int64
+	Seeded bool
 
 	// Values holds machine-readable series keyed "row/col" for tests and
 	// EXPERIMENTS.md generation.
@@ -35,6 +39,11 @@ func newReport(id, title string, header ...string) *Report {
 }
 
 func (r *Report) addRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// setSeed records the seed an experiment consumed. Experiments that use any
+// randomness must call it — including with seed 0, which is as valid a seed
+// as any other.
+func (r *Report) setSeed(seed int64) { r.Seed, r.Seeded = seed, true }
 
 func (r *Report) note(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))

@@ -101,7 +101,7 @@ func ServeLatency(p Params) *Report {
 		fmt.Sprintf("Open-loop tail latency (MB, %d tasks, Poisson arrivals, p99 SLO %.0fus)", n, slo/1e3),
 		"Rate(/s)", "Policy", "Scheme", "p50(us)", "p90(us)", "p99(us)", "max(us)",
 		"wait(us)", "service(us)", "drops", "goodput")
-	r.Seed = p.Seed
+	r.setSeed(p.Seed)
 
 	b, _ := workloads.ByName("MB")
 	opt := workloads.Options{Tasks: n, Threads: 128, Seed: p.Seed}
@@ -163,7 +163,7 @@ func ServeCapacity(p Params) *Report {
 	r := newReport("serve_capacity",
 		fmt.Sprintf("SLO-bounded capacity (MB, %d tasks, Poisson arrivals; p99 us per offered rate, * = %.0fus p99 SLO missed)", n, slo/1e3),
 		header...)
-	r.Seed = p.Seed
+	r.setSeed(p.Seed)
 
 	b, _ := workloads.ByName("MB")
 	opt := workloads.Options{Tasks: n, Threads: 128, Seed: p.Seed}

@@ -1,0 +1,100 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// benchOut is a realistic `go test -bench -benchmem` transcript: goos/pkg
+// preamble, plain and sub-benchmarks, with and without the -N suffix, and a
+// result line lacking alloc columns.
+const benchOut = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkEngineSchedule-8    	69235738	        16.4 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineSleep     	51262942	        23.4 ns/op	       8 B/op	       1 allocs/op
+BenchmarkOpenLoop/pagoda-8   	       1	109372708 ns/op
+PASS
+ok  	repro/internal/sim	9.186s
+`
+
+func TestParseBench(t *testing.T) {
+	cases := []struct {
+		name, field string
+		want        float64
+	}{
+		{"BenchmarkEngineSchedule", "", 16.4}, // "" defaults to ns/op
+		{"BenchmarkEngineSchedule", "ns/op", 16.4},
+		{"BenchmarkEngineSchedule", "allocs/op", 0},
+		{"BenchmarkEngineSleep", "ns/op", 23.4}, // no -N suffix (GOMAXPROCS=1)
+		{"BenchmarkEngineSleep", "allocs/op", 1},
+		{"BenchmarkEngineSleep", "B/op", 8},
+		{"BenchmarkOpenLoop/pagoda", "ns/op", 109372708}, // sub-benchmark
+	}
+	for _, c := range cases {
+		got, err := ParseBench([]byte(benchOut), c.name, c.field)
+		if err != nil {
+			t.Errorf("ParseBench(%s, %s): %v", c.name, c.field, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBench(%s, %s) = %v, want %v", c.name, c.field, got, c.want)
+		}
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	if _, err := ParseBench([]byte(benchOut), "BenchmarkMissing", "ns/op"); err == nil {
+		t.Error("missing benchmark: want error")
+	}
+	// The sub-benchmark line has no -benchmem columns.
+	if _, err := ParseBench([]byte(benchOut), "BenchmarkOpenLoop/pagoda", "allocs/op"); err == nil {
+		t.Error("missing allocs/op column: want error")
+	}
+	if _, err := ParseBench([]byte("BenchmarkX-8 10 zz ns/op\n"), "BenchmarkX", "ns/op"); err == nil {
+		t.Error("malformed value: want error")
+	}
+}
+
+// TestReportRoundTrip pins the gate's parsing surface against the harness
+// export schema: a Report written by WriteJSON / WriteJSONAll must round-trip
+// through ExtractReportValue, and missing keys must be errors, not zeros.
+func TestReportRoundTrip(t *testing.T) {
+	r := &harness.Report{ID: "figX", Title: "Sample", Header: []string{"k", "v"},
+		Values: map[string]float64{"pagoda/8/max-rate": 512000, "zero/value": 0}}
+	r2 := &harness.Report{ID: "figY", Title: "Other",
+		Values: map[string]float64{"pagoda/8/max-rate": 7}}
+
+	var one bytes.Buffer
+	if err := r.WriteJSON(&one); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ExtractReportValue(one.Bytes(), "", "pagoda/8/max-rate"); err != nil || v != 512000 {
+		t.Errorf("single doc, empty exp: got %v, %v", v, err)
+	}
+	if v, err := ExtractReportValue(one.Bytes(), "figX", "zero/value"); err != nil || v != 0 {
+		t.Errorf("recorded zero must extract cleanly: got %v, %v", v, err)
+	}
+	if _, err := ExtractReportValue(one.Bytes(), "figX", "no/such/key"); err == nil ||
+		!strings.Contains(err.Error(), "no/such/key") {
+		t.Errorf("missing key must error with the key name, got %v", err)
+	}
+
+	var all bytes.Buffer
+	if err := harness.WriteJSONAll(&all, []*harness.Report{r, r2}); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ExtractReportValue(all.Bytes(), "figY", "pagoda/8/max-rate"); err != nil || v != 7 {
+		t.Errorf("array, exp selection: got %v, %v", v, err)
+	}
+	if _, err := ExtractReportValue(all.Bytes(), "figZ", "pagoda/8/max-rate"); err == nil {
+		t.Error("unknown experiment id must error")
+	}
+	if _, err := ExtractReportValue([]byte("not json"), "", "k"); err == nil {
+		t.Error("non-JSON output must error")
+	}
+}

@@ -212,3 +212,16 @@ func TestMaxSustainable(t *testing.T) {
 		}
 	}
 }
+
+// TestMaxSustainableEmptyLadder pins the degenerate sweep: an empty rate
+// ladder has no sustainable rate and must report 0, not panic — the
+// pagodaperf gate feeds capacity sweeps through here and an empty ladder is
+// a legal (if useless) configuration.
+func TestMaxSustainableEmptyLadder(t *testing.T) {
+	if got := MaxSustainable(nil, nil); got != 0 {
+		t.Errorf("MaxSustainable(nil, nil) = %v, want 0", got)
+	}
+	if got := MaxSustainable([]float64{}, []bool{}); got != 0 {
+		t.Errorf("MaxSustainable(empty) = %v, want 0", got)
+	}
+}
