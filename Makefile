@@ -9,10 +9,15 @@ GO ?= go
 # or stray goroutine fails the build before anything expensive starts.
 check: lint vet test race perf-quick
 
-# lint runs the project's determinism & sim-safety analyzers. Any
-# unsuppressed finding (e.g. a time.Now injected into internal/sim) exits
+# lint runs the project's determinism & sim-safety analyzers: the per-file
+# checks plus the interprocedural taintflow pass (call-graph taint tracking
+# from nondeterminism sources into sim-time sinks) and floatorder
+# (order-unstable float accumulation). Any unsuppressed finding (e.g. a
+# time.Now laundered through helper functions into Engine.Schedule) exits
 # nonzero and fails the gate; intentional exceptions are annotated in the
-# source with //pagoda:allow <check> <reason>.
+# source with //pagoda:allow <check> <reason>, and a suppression that
+# suppresses nothing is itself a finding. `pagodavet -json` emits the same
+# findings machine-readably for CI annotation.
 lint:
 	$(GO) run ./cmd/pagodavet ./...
 

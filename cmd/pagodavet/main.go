@@ -1,28 +1,41 @@
 // Command pagodavet enforces the repository's determinism rules (DESIGN.md
 // "Determinism rules"): no wall-clock reads, unseeded randomness,
-// order-dependent map iteration, raw goroutines, or OS synchronization in
-// simulation code. It type-checks the requested packages with the standard
-// library's source importer — no external dependencies, works offline — and
-// exits nonzero on any unsuppressed finding, which is how `make check` fails
-// the build.
+// order-dependent map iteration, order-unstable float accumulation, raw
+// goroutines, or OS synchronization in simulation code — plus the
+// interprocedural taintflow check, which traces nondeterminism sources
+// through the whole-module call graph into sim-time sinks. It type-checks
+// the requested packages with the standard library's source importer — no
+// external dependencies, works offline — and exits nonzero on any
+// unsuppressed finding, which is how `make check` fails the build.
 //
 // Usage:
 //
-//	pagodavet [-v] [packages]
+//	pagodavet [-v] [-json] [packages]
 //
 // Packages default to ./... and follow the go tool's pattern shape. Findings
 // print as
 //
 //	file:line: [check] message
 //
+// with the full source→sink call path appended for interprocedural findings.
+// -json instead emits a machine-readable array of
+// {file, line, check, msg, path, suppressed} objects for CI annotation.
+//
+// Exit codes follow cmd/pagodaperf's convention: 0 clean, 1 findings
+// reported, 2 load/parse/flag error (including a pattern matching no
+// packages — a typo'd path must not report "clean").
+//
 // Intentional exceptions are annotated in the source:
 //
 //	//pagoda:allow <check> <reason>
 //
-// either trailing the offending line or on the line above it.
+// either trailing the offending line or on the line above it. A suppression
+// that suppresses nothing is itself reported (check "suppression"), so
+// annotations cannot rot in place as code moves.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +55,7 @@ func run(out, errw io.Writer, args []string) int {
 	fs := flag.NewFlagSet("pagodavet", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	verbose := fs.Bool("v", false, "also report suppressed findings and per-check totals")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array (suppressed ones included with -v)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -61,36 +75,131 @@ func run(out, errw io.Writer, args []string) int {
 		return 2
 	}
 
+	var perPkg, module []*analysis.Analyzer
+	for _, a := range checks.All() {
+		if a.RunModule != nil {
+			module = append(module, a)
+		} else {
+			perPkg = append(perPkg, a)
+		}
+	}
+
+	// Suppressions are parsed once per package (so malformed directives are
+	// reported exactly once) and threaded through every partition, so that
+	// directives no analyzer consumed can be flagged as stale afterwards.
 	var kept, suppressed []analysis.Finding
+	var allSups []analysis.Suppression
+	supsByPkg := map[*analysis.Package][]analysis.Suppression{}
+	used := map[analysis.SupKey]bool{}
 	for _, pkg := range pkgs {
-		for _, a := range checks.All() {
+		sups, malformed := analysis.PackageSuppressions(pkg)
+		supsByPkg[pkg] = sups
+		allSups = append(allSups, sups...)
+		kept = append(kept, malformed...)
+	}
+
+	for _, pkg := range pkgs {
+		for _, a := range perPkg {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.RelPath) {
 				continue
 			}
 			pass := analysis.NewPass(a, pkg)
 			a.Run(pass)
-			k, s := analysis.ApplySuppressions(pass, pass.Findings())
+			k, s := analysis.Partition(pass.Findings(), supsByPkg[pkg], used)
 			kept = append(kept, k...)
 			suppressed = append(suppressed, s...)
 		}
 	}
+	for _, a := range module {
+		mp := analysis.NewModulePass(a, pkgs)
+		a.RunModule(mp)
+		k, s := analysis.Partition(dedupe(mp.Findings()), allSups, used)
+		kept = append(kept, k...)
+		suppressed = append(suppressed, s...)
+	}
+	kept = append(kept, analysis.StaleFindings(allSups, used)...)
 
 	sortFindings(kept)
 	sortFindings(suppressed)
-	for _, f := range kept {
-		fmt.Fprintln(out, relFinding(cwd, f))
-	}
-	if *verbose {
-		for _, f := range suppressed {
-			fmt.Fprintf(out, "%s (suppressed)\n", relFinding(cwd, f))
+	if *asJSON {
+		if err := emitJSON(out, cwd, kept, suppressed, *verbose); err != nil {
+			fmt.Fprintln(errw, "pagodavet:", err)
+			return 2
 		}
-		fmt.Fprintf(out, "pagodavet: %d package(s), %d finding(s), %d suppressed\n",
-			len(pkgs), len(kept), len(suppressed))
+	} else {
+		for _, f := range kept {
+			fmt.Fprintln(out, relFinding(cwd, f))
+		}
+		if *verbose {
+			for _, f := range suppressed {
+				fmt.Fprintf(out, "%s (suppressed)\n", relFinding(cwd, f))
+			}
+			fmt.Fprintf(out, "pagodavet: %d package(s), %d finding(s), %d suppressed\n",
+				len(pkgs), len(kept), len(suppressed))
+		}
 	}
 	if len(kept) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the -json wire shape, mirroring pagodabench's JSON export
+// discipline: stable lowercase keys, machine-parseable, append-only.
+type jsonFinding struct {
+	File       string   `json:"file"`
+	Line       int      `json:"line"`
+	Check      string   `json:"check"`
+	Msg        string   `json:"msg"`
+	Path       []string `json:"path,omitempty"`
+	Suppressed bool     `json:"suppressed,omitempty"`
+}
+
+func emitJSON(out io.Writer, cwd string, kept, suppressed []analysis.Finding, verbose bool) error {
+	rows := make([]jsonFinding, 0, len(kept)+len(suppressed))
+	add := func(f analysis.Finding, sup bool) {
+		file := f.Pos.Filename
+		if rel, err := filepath.Rel(cwd, file); err == nil {
+			file = rel
+		}
+		rows = append(rows, jsonFinding{
+			File: file, Line: f.Pos.Line, Check: f.Check, Msg: f.Msg,
+			Path: f.Path, Suppressed: sup,
+		})
+	}
+	for _, f := range kept {
+		add(f, false)
+	}
+	if verbose {
+		for _, f := range suppressed {
+			add(f, true)
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// dedupe drops repeated (position, check, msg) findings — an interprocedural
+// analyzer can rediscover the same flow through two summary routes.
+func dedupe(fs []analysis.Finding) []analysis.Finding {
+	type key struct {
+		file  string
+		line  int
+		check string
+		msg   string
+	}
+	seen := map[key]bool{}
+	out := fs[:0]
+	for _, f := range fs {
+		k := key{f.Pos.Filename, f.Pos.Line, f.Check, f.Msg}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
 }
 
 func sortFindings(fs []analysis.Finding) {

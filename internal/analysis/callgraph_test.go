@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkSnippet type-checks one in-memory file as package path "snip" and
+// returns it in Package form.
+func checkSnippet(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snip.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("snip", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{
+		Path: "snip", RelPath: "snip", Fset: fset,
+		Files: []*ast.File{f}, Src: map[string][]byte{"snip.go": []byte(src)},
+		Types: tpkg, Info: info,
+	}
+}
+
+const cgSrc = `package snip
+
+type T struct{}
+
+func (t *T) M() { helper() }
+
+func helper() int { return leaf() + leaf() }
+
+func leaf() int { return 1 }
+
+func viaValue() {
+	f := leaf
+	f() // dynamic: not an edge
+}
+`
+
+func TestBuildCallGraph(t *testing.T) {
+	g := BuildCallGraph([]*Package{checkSnippet(t, cgSrc)})
+
+	for _, id := range []FuncID{"snip.T.M", "snip.helper", "snip.leaf", "snip.viaValue"} {
+		if g.Decls[id] == nil {
+			t.Errorf("Decls missing %q (have %v)", id, g.Order)
+		}
+	}
+	if got := g.Callees["snip.T.M"]; len(got) != 1 || got[0] != "snip.helper" {
+		t.Errorf("Callees(T.M) = %v, want [snip.helper]", got)
+	}
+	// helper calls leaf twice; duplicates are preserved in call order.
+	if got := g.Callees["snip.helper"]; len(got) != 2 || got[0] != "snip.leaf" || got[1] != "snip.leaf" {
+		t.Errorf("Callees(helper) = %v, want [snip.leaf snip.leaf]", got)
+	}
+	// A call through a function-typed value resolves no static callee.
+	if got := g.Callees["snip.viaValue"]; len(got) != 0 {
+		t.Errorf("Callees(viaValue) = %v, want none", got)
+	}
+}
+
+// TestIDOfMethodCollapsesPointerReceiver pins that *T and T methods share an
+// ID, and that cross-package identity is by path string, not object pointer.
+func TestIDOfMethodIdentity(t *testing.T) {
+	pkg := checkSnippet(t, cgSrc)
+	var viaDef, viaUse FuncID
+	ast.Inspect(pkg.Files[0], func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Name.Name == "M" {
+				viaDef = IDOf(pkg.Info.Defs[n.Name].(*types.Func))
+			}
+		}
+		return true
+	})
+	// Resolve the same method through the method set of the named type.
+	obj, _, _ := types.LookupFieldOrMethod(pkg.Types.Scope().Lookup("T").Type(), true, pkg.Types, "M")
+	viaUse = IDOf(obj.(*types.Func))
+	if viaDef != "snip.T.M" || viaUse != "snip.T.M" {
+		t.Errorf("IDOf(M) def=%q use=%q, want snip.T.M for both", viaDef, viaUse)
+	}
+}

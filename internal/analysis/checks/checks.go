@@ -10,15 +10,20 @@ import (
 	"repro/internal/analysis"
 )
 
-// All lists every analyzer in the order pagodavet runs them.
+// All lists every analyzer in the order pagodavet runs them. Per-package
+// analyzers (Run set) execute once per loaded package; the interprocedural
+// ones (RunModule set, currently taintflow) execute once over the whole
+// load set, after the per-package sweep.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Wallclock,
 		Randsource,
 		Maprange,
+		Floatorder,
 		Rawgo,
 		Syncprim,
 		Goroutine,
+		Taintflow,
 	}
 }
 

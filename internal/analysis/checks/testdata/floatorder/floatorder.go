@@ -1,0 +1,93 @@
+package fixture
+
+import "sync"
+
+// Map-range accumulation: (a+b)+c != a+(b+c) in float64 and map order is
+// randomized, so the sum's bits differ run to run.
+func meanLatency(byTask map[int]float64) float64 {
+	var sum float64
+	for _, v := range byTask {
+		sum += v // want `\[floatorder\] float accumulation into sum under unordered iteration`
+	}
+	return sum / float64(len(byTask))
+}
+
+// Integer accumulation commutes exactly: clean.
+func countTasks(byTask map[int]int) int {
+	n := 0
+	for _, v := range byTask {
+		n += v
+	}
+	return n
+}
+
+// Slice iteration has a fixed order: clean.
+func totalSorted(vals []float64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+// Channel fold in arrival order, written as x = x + v: flagged.
+func mergeFromWorkers(ch chan float64) float64 {
+	var sum float64
+	for v := range ch {
+		sum = sum + v // want `\[floatorder\] float accumulation into sum under unordered iteration`
+	}
+	return sum
+}
+
+// Goroutine-captured partial sum merged in scheduler order: flagged.
+func parallelSum(parts [][]float64) float64 {
+	var wg sync.WaitGroup
+	var sum float64
+	for _, p := range parts {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, v := range p {
+				sum += v // want `\[floatorder\] float accumulation into captured sum`
+			}
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// Per-worker slots folded in index order afterwards: clean — the goroutine
+// accumulates into its own local and writes one indexed slot.
+func parallelSumDeterministic(parts [][]float64) float64 {
+	var wg sync.WaitGroup
+	partial := make([]float64, len(parts))
+	for i, p := range parts {
+		i, p := i, p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s float64
+			for _, v := range p {
+				s += v
+			}
+			partial[i] = s
+		}()
+	}
+	wg.Wait()
+	var sum float64
+	for _, s := range partial {
+		sum += s
+	}
+	return sum
+}
+
+// Annotated exception: integral addends below 2^53 fold exactly in any
+// order, so the suppression is justified.
+func allowedSum(byTask map[int]float64) float64 {
+	var sum float64
+	for _, v := range byTask {
+		sum += v //pagoda:allow floatorder addends are integral counts below 2^53; the fold is exact in any order
+	}
+	return sum
+}

@@ -92,6 +92,11 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			pkgs = append(pkgs, pkg)
 		}
 	}
+	if len(pkgs) == 0 {
+		// A sweep that silently matches nothing would report "clean" for a
+		// typo'd pattern; make it a load error so drivers exit 2, not 0.
+		return nil, fmt.Errorf("analysis: no Go packages match %v", patterns)
+	}
 	return pkgs, nil
 }
 
