@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/harness"
+	"repro/internal/runners"
 )
 
 func main() {
@@ -46,6 +47,8 @@ func run(out, errw io.Writer, args []string) int {
 	slo := fs.Float64("slo", 1000, "p99 latency SLO for the serve_* and cluster_* experiments, microseconds")
 	nodes := fs.Int("nodes", 4, "fleet size for the cluster_* experiments")
 	policy := fs.String("policy", "rr", "cluster routing policy: "+strings.Join(cluster.PolicyNames(), ", "))
+	scheme := fs.String("scheme", "", "GPU scheme(s) the serve_*/cluster_* experiments sweep, comma-separated (default all): "+strings.Join(runners.SchemeKeys(), ", "))
+	oversub := fs.Float64("oversub", 0, "zorua oversubscription factor (0 = scheme default 1.5, 1 = physical admission)")
 	format := fs.String("format", "text", "output format: text, csv, json")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
@@ -63,8 +66,13 @@ func run(out, errw io.Writer, args []string) int {
 		fmt.Fprintln(errw, err)
 		return 2
 	}
+	schemes, err := expandSchemes(*scheme)
+	if err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
+	}
 	p := harness.Params{Tasks: *tasks, SMMs: *smms, Seed: *seed, Parallel: *parallel,
-		SLOUs: *slo, Nodes: *nodes, Policy: *policy}
+		SLOUs: *slo, Nodes: *nodes, Policy: *policy, Schemes: schemes, Oversub: *oversub}
 
 	ids, err := expandExpIDs(*exp)
 	if err != nil {
@@ -110,6 +118,38 @@ func run(out, errw io.Writer, args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// expandSchemes resolves the -scheme flag against the runners scheme
+// registry the same way -exp resolves experiment ids: empty means every
+// scheme, entries are trimmed/deduped, and an unknown name fails up front
+// with the valid set.
+func expandSchemes(expr string) ([]string, error) {
+	if strings.TrimSpace(expr) == "" {
+		return nil, nil
+	}
+	valid := runners.SchemeKeys()
+	known := make(map[string]bool, len(valid))
+	for _, k := range valid {
+		known[k] = true
+	}
+	seen := make(map[string]bool)
+	var keys []string
+	for _, k := range strings.Split(expr, ",") {
+		k = strings.TrimSpace(k)
+		if k == "" || seen[k] {
+			continue
+		}
+		if !known[k] {
+			return nil, fmt.Errorf("unknown scheme %q (valid: %s)", k, strings.Join(valid, ", "))
+		}
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("-scheme %q names no schemes (valid: %s)", expr, strings.Join(valid, ", "))
+	}
+	return keys, nil
 }
 
 // expandExpIDs resolves the -exp flag into experiment ids: "all" means every

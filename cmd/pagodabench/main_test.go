@@ -267,3 +267,47 @@ func TestRejectsUnknownPolicy(t *testing.T) {
 		t.Errorf("stderr = %q, want unknown-policy error", errw.String())
 	}
 }
+
+// TestRejectsUnknownScheme pins the -scheme validation path: an unknown
+// scheme name fails before any simulation runs, exit 2, and the error
+// teaches the valid set.
+func TestRejectsUnknownScheme(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run(&out, &errw, []string{"-exp", "serve_capacity", "-scheme", "pagoda,bogus"}); code != 2 {
+		t.Fatalf("run(-scheme pagoda,bogus) = %d, want 2", code)
+	}
+	for _, want := range []string{"unknown scheme", `"bogus"`, "hyperq", "gemtc", "pagoda", "zorua"} {
+		if !strings.Contains(errw.String(), want) {
+			t.Errorf("unknown-scheme error %q missing %q", errw.String(), want)
+		}
+	}
+	errw.Reset()
+	if code := run(&out, &errw, []string{"-exp", "serve_capacity", "-scheme", ",,"}); code != 2 {
+		t.Fatalf("run(-scheme ,,) = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "names no schemes") {
+		t.Errorf("stderr = %q, want empty-list error", errw.String())
+	}
+}
+
+// TestSchemeFilterRestrictsSweep drives -scheme end to end: a filtered
+// serve_capacity run reports exactly the named schemes, in registry order.
+func TestSchemeFilterRestrictsSweep(t *testing.T) {
+	var out, errw strings.Builder
+	code := run(&out, &errw, []string{"-exp", "serve_capacity", "-tasks", "32", "-smms", "4",
+		"-scheme", "zorua,pagoda", "-format", "csv"})
+	if code != 0 {
+		t.Fatalf("run(-scheme zorua,pagoda) = %d, stderr %q", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"Pagoda", "Zorua"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("filtered sweep missing %s:\n%s", want, got)
+		}
+	}
+	for _, banned := range []string{"CUDA-HyperQ", "GeMTC"} {
+		if strings.Contains(got, banned) {
+			t.Errorf("filtered sweep still ran %s:\n%s", banned, got)
+		}
+	}
+}

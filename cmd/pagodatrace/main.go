@@ -23,6 +23,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -53,7 +54,7 @@ func run(w io.Writer, args []string) error {
 	seed := fs.Int64("seed", 1, "workload and arrival-stream seed")
 	nodes := fs.Int("nodes", 0, "cluster mode: fleet size (0 = single-device closed-loop trace)")
 	policy := fs.String("policy", "rr", "cluster mode routing policy: "+fmt.Sprint(cluster.PolicyNames()))
-	scheme := fs.String("scheme", "pagoda", "cluster mode execution scheme: pagoda, hyperq, gemtc")
+	scheme := fs.String("scheme", "pagoda", "cluster mode execution scheme: "+strings.Join(runners.SchemeKeys(), ", "))
 	rate := fs.Float64("rate", 64e3, "cluster mode offered arrival rate per node, tasks/s")
 	out := fs.String("o", "trace.json", "output file")
 	if err := fs.Parse(args); err != nil {
@@ -131,17 +132,11 @@ func runCluster(w io.Writer, defs []workloads.TaskDef, benchName string,
 	if err != nil {
 		return err
 	}
-	var run func([]workloads.TaskDef, runners.ClusterOpenLoop, runners.Config) (runners.Result, runners.ClusterRun)
-	switch scheme {
-	case "pagoda":
-		run = runners.RunPagodaCluster
-	case "hyperq":
-		run = runners.RunHyperQCluster
-	case "gemtc":
-		run = runners.RunGeMTCCluster
-	default:
-		return fmt.Errorf("pagodatrace: unknown scheme %q (want pagoda, hyperq or gemtc)", scheme)
+	sc, ok := runners.SchemeByKey(scheme)
+	if !ok {
+		return fmt.Errorf("pagodatrace: unknown scheme %q (valid: %s)", scheme, strings.Join(runners.SchemeKeys(), ", "))
 	}
+	run := sc.RunCluster
 	cfg := runners.DefaultConfig()
 	cfg.SMMs = smms
 

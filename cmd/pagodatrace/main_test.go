@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/runners"
 )
 
 // TestRunSmoke drives the command end to end on a small Mandelbrot config
@@ -77,6 +79,26 @@ func TestClusterTraceSmoke(t *testing.T) {
 	for _, want := range []string{"node00/serve-pagoda", "node01/serve-pagoda"} {
 		if !names[want] {
 			t.Errorf("trace missing track %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestClusterTraceEverySchemeAccepted pins cluster mode to the scheme
+// registry: a scheme registered in runners.Schemes() must trace without any
+// pagodatrace change (the old hand-written switch silently excluded new
+// schemes — zorua was the one that flushed it out).
+func TestClusterTraceEverySchemeAccepted(t *testing.T) {
+	for _, key := range runners.SchemeKeys() {
+		out := filepath.Join(t.TempDir(), key+".json")
+		var sb strings.Builder
+		err := run(&sb, []string{"-bench", "MB", "-tasks", "8", "-smms", "4",
+			"-nodes", "2", "-scheme", key, "-o", out})
+		if err != nil {
+			t.Errorf("scheme %q: %v", key, err)
+			continue
+		}
+		if !strings.Contains(sb.String(), "node00/serve-"+key) {
+			t.Errorf("scheme %q summary missing its node track:\n%s", key, sb.String())
 		}
 	}
 }

@@ -65,12 +65,13 @@ func (k *Kernel) OnDone(fn func()) {
 // threadBlock is one block of a kernel pending dispatch or resident on an
 // SMM.
 type threadBlock struct {
-	kernel    *Kernel
-	blockIdx  int
-	smm       *SMM
-	warpsLeft int
-	barrier   *Barrier
-	placedAt  sim.Time
+	kernel     *Kernel
+	blockIdx   int
+	smm        *SMM
+	warpsLeft  int
+	barrier    *Barrier
+	placedAt   sim.Time
+	spillDelay sim.Time // coordinator swap-in cost before warps may execute
 }
 
 // SMM is one streaming multiprocessor: an issue engine plus resource
@@ -99,15 +100,18 @@ func (m *SMM) settleWarps() {
 }
 
 // fits reports whether a threadblock of the given spec can be placed now.
+// The capacities are the device's admission caps: physical by default,
+// oversubscribed when a virtualization coordinator is installed.
 func (m *SMM) fits(spec LaunchSpec) bool {
 	cfg := m.dev.Cfg
+	caps := m.dev.caps
 	warps := spec.WarpsPerTB(cfg)
 	regs := spec.RegsPerThread * warps * cfg.ThreadsPerWarp
-	return m.residentTBs+1 <= cfg.MaxTBsPerSMM &&
-		m.residentThreads+spec.BlockThreads <= cfg.MaxResidentThreads() &&
-		m.residentWarps+warps <= cfg.WarpsPerSMM &&
-		m.usedShared+spec.SharedPerTB <= cfg.SharedPerSMM &&
-		m.usedRegs+regs <= cfg.RegsPerSMM
+	return m.residentTBs+1 <= caps.tbs &&
+		m.residentThreads+spec.BlockThreads <= caps.threads &&
+		m.residentWarps+warps <= caps.warps &&
+		m.usedShared+spec.SharedPerTB <= caps.shared &&
+		m.usedRegs+regs <= caps.regs
 }
 
 func (m *SMM) place(tb *threadBlock) {
@@ -121,6 +125,9 @@ func (m *SMM) place(tb *threadBlock) {
 	m.usedShared += spec.SharedPerTB
 	m.usedRegs += spec.RegsPerThread * warps * cfg.ThreadsPerWarp
 	tb.smm = m
+	if v := m.dev.Virt; v != nil {
+		tb.spillDelay = v.admit(m, spec, warps)
+	}
 }
 
 func (m *SMM) release(tb *threadBlock) {
@@ -154,13 +161,22 @@ type Device struct {
 	// Trace, when set, records kernel and threadblock spans.
 	Trace *trace.Tracer
 
+	// Virt, when non-nil, is the Zorua-style virtualization coordinator:
+	// threadblocks are admitted against its oversubscribed capacities and
+	// charged its spill cost. Nil means static (physical) admission.
+	Virt *Coordinator
+
+	// caps are the admission capacities tryDispatch enforces — physical
+	// unless Virtualize has installed a coordinator.
+	caps occCaps
+
 	createdAt sim.Time
 }
 
 // NewDevice builds a device on the given engine.
 func NewDevice(eng *sim.Engine, cfg Config) *Device {
 	cfg.Validate()
-	d := &Device{Eng: eng, Cfg: cfg, createdAt: eng.Now()}
+	d := &Device{Eng: eng, Cfg: cfg, caps: physCaps(cfg), createdAt: eng.Now()}
 	d.membw = newBWResource(eng, cfg.MemBandwidth)
 	d.SMMs = make([]*SMM, cfg.NumSMMs)
 	for i := range d.SMMs {
@@ -172,6 +188,17 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 		}
 	}
 	return d
+}
+
+// Virtualize installs a dynamic-resource virtualization coordinator:
+// subsequent threadblock dispatch admits against the oversubscribed
+// capacities and pays the coordinator's spill cost whenever live demand
+// exceeds physical capacity. With factors <= 1 this is a no-op (admission
+// stays physical). It returns the coordinator for spill accounting.
+func (d *Device) Virtualize(ov Oversub) *Coordinator {
+	d.Virt = NewCoordinator(d.Cfg, ov)
+	d.caps = d.Virt.caps
+	return d.Virt
 }
 
 // Launch validates the spec and enqueues the kernel's threadblocks for
@@ -251,6 +278,9 @@ func (d *Device) startWarps(tb *threadBlock) {
 		w := w
 		name := fmt.Sprintf("%s/tb%d/w%d", spec.Name, tb.blockIdx, w)
 		d.Eng.Spawn(name, func(p *sim.Proc) {
+			if tb.spillDelay > 0 {
+				p.Sleep(tb.spillDelay)
+			}
 			ctx := &Ctx{
 				dev:         d,
 				smm:         tb.smm,

@@ -22,21 +22,6 @@ func clusterTaskCount(p Params) int {
 	return p.Tasks
 }
 
-// clusterScheme pairs a result key with a fleet runner.
-type clusterScheme struct {
-	key     string
-	display string
-	run     func([]workloads.TaskDef, runners.ClusterOpenLoop, runners.Config) (runners.Result, runners.ClusterRun)
-}
-
-func clusterSchemes() []clusterScheme {
-	return []clusterScheme{
-		{"hyperq", "CUDA-HyperQ", runners.RunHyperQCluster},
-		{"gemtc", "GeMTC", runners.RunGeMTCCluster},
-		{"pagoda", "Pagoda", runners.RunPagodaCluster},
-	}
-}
-
 // clusterOut is one fleet cell's summary: the latency/goodput stats over the
 // whole fleet plus the per-node accounting the imbalance metric reads.
 type clusterOut struct {
@@ -66,7 +51,7 @@ func (c clusterOut) imbalance() float64 {
 // invariant is checked before any number escapes the cell.
 func clusterCell(s *sweep, mk func() []workloads.TaskDef, classes []int, cfg runners.Config,
 	gen serve.Generator, nodes int, mkPol func() cluster.Policy,
-	admit func() func(sim.Time, int) bool, sc clusterScheme, slo sim.Time) *clusterOut {
+	admit func() func(sim.Time, int) bool, sc runners.Scheme, slo sim.Time) *clusterOut {
 	out := new(clusterOut)
 	s.add(func() {
 		tasks := mk()
@@ -79,7 +64,7 @@ func clusterCell(s *sweep, mk func() []workloads.TaskDef, classes []int, cfg run
 		if mkPol != nil {
 			co.Policy = mkPol()
 		}
-		_, cr := sc.run(tasks, co, cfg)
+		_, cr := sc.RunCluster(tasks, co, cfg)
 		if err := cr.CheckConservation(); err != nil {
 			panic(fmt.Sprintf("harness: fleet leaked tasks: %v", err))
 		}
@@ -128,14 +113,15 @@ func ClusterScaling(p Params) *Report {
 	cfg := p.runnerCfg()
 
 	type scalingCell struct {
-		sc    clusterScheme
+		sc    runners.Scheme
 		nodes int
 		rate  float64 // per-node offered rate
 		out   *clusterOut
 	}
 	s := newSweep(p)
+	schemes := p.gpuSchemes()
 	var cells []scalingCell
-	for _, sc := range clusterSchemes() {
+	for _, sc := range schemes {
 		for _, nodes := range nodeCounts {
 			for _, rate := range perNode {
 				gen := serve.Poisson{Rate: rate * float64(nodes), Seed: p.Seed}
@@ -147,9 +133,9 @@ func ClusterScaling(p Params) *Report {
 	s.run()
 
 	i := 0
-	for _, sc := range clusterSchemes() {
+	for _, sc := range schemes {
 		for _, nodes := range nodeCounts {
-			row := []string{sc.display, fmt.Sprint(nodes)}
+			row := []string{sc.Display, fmt.Sprint(nodes)}
 			offered := make([]float64, len(perNode))
 			ok := make([]bool, len(perNode))
 			var top *clusterOut
@@ -160,13 +146,13 @@ func ClusterScaling(p Params) *Report {
 				offered[j] = rate * float64(nodes)
 				ok[j] = st.SLOSatisfied()
 				row = append(row, cond(ok[j], us(st.P99), us(st.P99)+"*"))
-				key := fmt.Sprintf("%s/%d", sc.key, nodes)
+				key := fmt.Sprintf("%s/%d", sc.Key, nodes)
 				r.set(fmt.Sprintf("%s/p99us/%.0f", key, rate), st.P99/1e3)
 				r.set(fmt.Sprintf("%s/goodput/%.0f", key, rate), st.Goodput)
 				top = c.out
 			}
 			max := serve.MaxSustainable(offered, ok)
-			key := fmt.Sprintf("%s/%d", sc.key, nodes)
+			key := fmt.Sprintf("%s/%d", sc.Key, nodes)
 			r.set(key+"/max-rate", max)
 			r.set(key+"/max-rate-node", max/float64(nodes))
 			r.set(key+"/imbalance", top.imbalance())
@@ -247,7 +233,7 @@ func ClusterPolicy(p Params) *Report {
 	type policyCell struct {
 		arr    string
 		policy string
-		sc     clusterScheme
+		sc     runners.Scheme
 		out    *clusterOut
 	}
 	s := newSweep(p)
@@ -258,7 +244,7 @@ func ClusterPolicy(p Params) *Report {
 			if err != nil {
 				panic(err)
 			}
-			for _, sc := range clusterSchemes() {
+			for _, sc := range p.gpuSchemes() {
 				cells = append(cells, policyCell{ak.key, pname, sc,
 					clusterCell(s, mk, classes, cfg, ak.gen, nodes, mkPol, admit, sc, slo)})
 			}
@@ -268,10 +254,10 @@ func ClusterPolicy(p Params) *Report {
 
 	for _, c := range cells {
 		st := c.out.st
-		r.addRow(c.arr, c.policy, c.sc.display,
+		r.addRow(c.arr, c.policy, c.sc.Display,
 			us(st.P50), us(st.P99), us(st.Max),
 			fmt.Sprint(st.Dropped), f2(st.Goodput), f2(c.out.imbalance()))
-		key := fmt.Sprintf("%s/%s/%s", c.sc.key, c.policy, c.arr)
+		key := fmt.Sprintf("%s/%s/%s", c.sc.Key, c.policy, c.arr)
 		r.set(key+"/p99us", st.P99/1e3)
 		r.set(key+"/drops", float64(st.Dropped))
 		r.set(key+"/goodput", st.Goodput)

@@ -9,17 +9,18 @@ import (
 )
 
 func TestClusterScalingShape(t *testing.T) {
-	r := ClusterScaling(tinyParams())
-	wantRows := len(clusterSchemes()) * 4 // node counts 1, 2, 4, 8
+	p := tinyParams()
+	r := ClusterScaling(p)
+	wantRows := len(p.gpuSchemes()) * 4 // node counts 1, 2, 4, 8
 	if len(r.Rows) != wantRows {
 		t.Fatalf("cluster_scaling rows = %d, want %d", len(r.Rows), wantRows)
 	}
-	if r.Seed != tinyParams().Seed {
-		t.Errorf("Seed = %d, want %d", r.Seed, tinyParams().Seed)
+	if r.Seed != p.Seed {
+		t.Errorf("Seed = %d, want %d", r.Seed, p.Seed)
 	}
-	for _, sc := range clusterSchemes() {
+	for _, sc := range p.gpuSchemes() {
 		for _, nodes := range []int{1, 2, 4, 8} {
-			key := fmt.Sprintf("%s/%d", sc.key, nodes)
+			key := fmt.Sprintf("%s/%d", sc.Key, nodes)
 			for _, suffix := range []string{"/max-rate", "/max-rate-node", "/imbalance"} {
 				if _, ok := r.Lookup(key + suffix); !ok {
 					t.Errorf("missing value %s%s", key, suffix)
@@ -35,7 +36,7 @@ func TestClusterScalingShape(t *testing.T) {
 func TestClusterPolicyShape(t *testing.T) {
 	p := tinyParams()
 	r := ClusterPolicy(p)
-	wantRows := 2 * len(cluster.PolicyNames()) * len(clusterSchemes())
+	wantRows := 2 * len(cluster.PolicyNames()) * len(p.gpuSchemes())
 	if len(r.Rows) != wantRows {
 		t.Fatalf("cluster_policy rows = %d, want %d", len(r.Rows), wantRows)
 	}
@@ -44,8 +45,8 @@ func TestClusterPolicyShape(t *testing.T) {
 	}
 	for _, arr := range []string{"poisson", "bursty"} {
 		for _, pname := range cluster.PolicyNames() {
-			for _, sc := range clusterSchemes() {
-				key := fmt.Sprintf("%s/%s/%s", sc.key, pname, arr)
+			for _, sc := range p.gpuSchemes() {
+				key := fmt.Sprintf("%s/%s/%s", sc.Key, pname, arr)
 				for _, suffix := range []string{"/p99us", "/goodput", "/drops", "/imbalance"} {
 					if _, ok := r.Lookup(key + suffix); !ok {
 						t.Errorf("missing value %s%s", key, suffix)
@@ -55,9 +56,9 @@ func TestClusterPolicyShape(t *testing.T) {
 		}
 	}
 	// Round-robin on a uniform stream splits the fleet evenly by construction.
-	for _, sc := range clusterSchemes() {
-		if imb := r.Get(sc.key + "/rr/poisson/imbalance"); imb > 1.1 {
-			t.Errorf("%s rr imbalance %v, want ~1.0", sc.key, imb)
+	for _, sc := range p.gpuSchemes() {
+		if imb := r.Get(sc.Key + "/rr/poisson/imbalance"); imb > 1.1 {
+			t.Errorf("%s rr imbalance %v, want ~1.0", sc.Key, imb)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"repro/internal/gpu"
 	"repro/internal/runners"
 	"repro/internal/workloads"
 )
@@ -34,6 +35,16 @@ type Params struct {
 	// empty means round-robin. cluster_policy sweeps every policy and
 	// ignores it.
 	Policy string
+
+	// Schemes restricts the GPU schemes the serve_* and cluster_*
+	// experiments sweep (keys from runners.SchemeKeys()); empty means all.
+	// The figure experiments have fixed per-scheme columns and ignore it.
+	Schemes []string
+
+	// Oversub overrides the zorua scheme's oversubscription factor
+	// (uniform across all four resources); 0 means the scheme default,
+	// 1 means physical admission. Other schemes ignore it.
+	Oversub float64
 }
 
 // DefaultParams returns the laptop-scale defaults.
@@ -58,7 +69,33 @@ func (p Params) fill() Params {
 func (p Params) runnerCfg() runners.Config {
 	cfg := runners.DefaultConfig()
 	cfg.SMMs = p.SMMs
+	if p.Oversub > 0 {
+		cfg.Oversub = gpu.UniformOversub(p.Oversub)
+	}
 	return cfg
+}
+
+// gpuSchemes returns the GPU schemes a serving/cluster sweep covers: the
+// full runners registry, or the subset named by p.Schemes, in registry
+// order. Deriving the list here (instead of hard-coding scheme names per
+// experiment) is what lets a newly registered scheme appear in every
+// sweep automatically.
+func (p Params) gpuSchemes() []runners.Scheme {
+	all := runners.Schemes()
+	if len(p.Schemes) == 0 {
+		return all
+	}
+	want := make(map[string]bool, len(p.Schemes))
+	for _, k := range p.Schemes {
+		want[k] = true
+	}
+	var out []runners.Scheme
+	for _, s := range all {
+		if want[s.Key] {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // Experiments lists every regenerable artifact (the paper's tables and
@@ -114,17 +151,33 @@ func taskCount(p Params, bench string) int {
 	return p.Tasks
 }
 
+// fig5Abbrev shortens a GPU scheme key for the ratio column headers.
+var fig5Abbrev = map[string]string{"hyperq": "HQ", "gemtc": "GeMTC", "pagoda": "Pg", "zorua": "Zorua"}
+
 // Fig5 regenerates the overall performance comparison: speedup over
-// sequential CPU for PThreads(20-core), CUDA-HyperQ, GeMTC and Pagoda, 128
-// threads per task, copy+compute time.
+// sequential CPU for PThreads(20-core) and every registered GPU scheme, 128
+// threads per task, copy+compute time. The GPU columns are derived from the
+// runners scheme registry so a new scheme gets a bar automatically.
 func Fig5(p Params) *Report {
 	p = p.fill()
+	schemes := runners.Schemes()
+	header := []string{"Benchmark", "PThreads"}
+	for _, sc := range schemes {
+		header = append(header, sc.Display)
+	}
+	for _, sc := range schemes {
+		if sc.Key != "pagoda" {
+			header = append(header, "Pagoda/"+fig5Abbrev[sc.Key])
+		}
+	}
+	header = append(header, "Pagoda/PThr", "HQ p99(us)", "Pagoda p99(us)")
 	r := newReport("fig5", fmt.Sprintf("Overall performance (speedup over 1-core CPU), %d tasks, 128 threads/task", p.Tasks),
-		"Benchmark", "PThreads", "CUDA-HyperQ", "GeMTC", "Pagoda", "Pagoda/HQ", "Pagoda/GeMTC", "Pagoda/PThr", "HQ p99(us)", "Pagoda p99(us)")
+		header...)
 
 	type fig5Cells struct {
-		name                string
-		seq, pt, pg, hq, gm *runners.Result
+		name    string
+		seq, pt *runners.Result
+		gpu     []*runners.Result // parallel to schemes; nil where unsupported
 	}
 	s := newSweep(p)
 	var cells []fig5Cells
@@ -136,54 +189,79 @@ func Fig5(p Params) *Report {
 			name: name,
 			seq:  s.cell(b, opt, cfg, seqScheme),
 			pt:   s.cell(b, opt, cfg, runners.RunPThreads),
-			pg:   s.cell(b, opt, cfg, runners.RunPagoda),
-			hq:   s.cell(b, opt, cfg, runners.RunHyperQ),
 		}
-		if name != "SLUD" { // "We could not implement SLUD in GeMTC"
-			c.gm = s.cell(b, opt, cfg, runners.RunGeMTC)
+		for _, sc := range schemes {
+			if name == "SLUD" && sc.Key == "gemtc" { // "We could not implement SLUD in GeMTC"
+				c.gpu = append(c.gpu, nil)
+				continue
+			}
+			c.gpu = append(c.gpu, s.cell(b, opt, cfg, sc.Run))
 		}
 		cells = append(cells, c)
 	}
 	s.run()
 
-	var vsPT, vsHQ, vsGM []float64
+	var vsPT []float64
+	vsGPU := make(map[string][]float64) // pagoda speedup ratio series per scheme key
 	for _, c := range cells {
 		name := c.name
 		seq := *c.seq
-		hqS := seq.Elapsed / c.hq.Elapsed
-		gmS, gmStr := 0.0, "n/a"
-		if c.gm != nil {
-			gmS = seq.Elapsed / c.gm.Elapsed
-			gmStr = f2(gmS)
-		}
 		ptS := seq.Elapsed / c.pt.Elapsed
-		pgS := seq.Elapsed / c.pg.Elapsed
-		r.addRow(name, f2(ptS), f2(hqS), gmStr, f2(pgS),
-			f2(pgS/hqS), cond(gmS > 0, f2(pgS/gmS), "n/a"), f2(pgS/ptS),
-			us(c.hq.P99Latency), us(c.pg.P99Latency))
-		r.set(name+"/pthreads", ptS)
-		r.set(name+"/hyperq", hqS)
-		if gmS > 0 {
-			r.set(name+"/gemtc", gmS)
-			r.set(name+"/p99us/gemtc", c.gm.P99Latency/1e3)
+		speedup := make(map[string]float64)
+		var pg *runners.Result
+		for i, sc := range schemes {
+			if c.gpu[i] == nil {
+				continue
+			}
+			speedup[sc.Key] = seq.Elapsed / c.gpu[i].Elapsed
+			if sc.Key == "pagoda" {
+				pg = c.gpu[i]
+			}
 		}
-		r.set(name+"/pagoda", pgS)
+		pgS := speedup["pagoda"]
+		row := []string{name, f2(ptS)}
+		for _, sc := range schemes {
+			row = append(row, cond(speedup[sc.Key] > 0, f2(speedup[sc.Key]), "n/a"))
+		}
+		for _, sc := range schemes {
+			if sc.Key == "pagoda" {
+				continue
+			}
+			row = append(row, cond(speedup[sc.Key] > 0, f2(pgS/speedup[sc.Key]), "n/a"))
+		}
+		var hq *runners.Result
+		for i, sc := range schemes {
+			if sc.Key == "hyperq" {
+				hq = c.gpu[i]
+			}
+		}
+		row = append(row, f2(pgS/ptS), us(hq.P99Latency), us(pg.P99Latency))
+		r.addRow(row...)
+
+		r.set(name+"/pthreads", ptS)
 		// Exact per-task tail latency (nearest-rank over the closed-loop run's
 		// latency vector) — the narrow-task story the speedup columns hide.
 		r.set(name+"/p99us/pthreads", c.pt.P99Latency/1e3)
-		r.set(name+"/p99us/hyperq", c.hq.P99Latency/1e3)
-		r.set(name+"/p99us/pagoda", c.pg.P99Latency/1e3)
-		vsPT = append(vsPT, pgS/ptS)
-		vsHQ = append(vsHQ, pgS/hqS)
-		if gmS > 0 {
-			vsGM = append(vsGM, pgS/gmS)
+		for i, sc := range schemes {
+			if c.gpu[i] == nil {
+				continue
+			}
+			r.set(name+"/"+sc.Key, speedup[sc.Key])
+			r.set(name+"/p99us/"+sc.Key, c.gpu[i].P99Latency/1e3)
+			if sc.Key != "pagoda" {
+				vsGPU[sc.Key] = append(vsGPU[sc.Key], pgS/speedup[sc.Key])
+			}
 		}
+		vsPT = append(vsPT, pgS/ptS)
 	}
 	r.set("geomean/pagoda-vs-pthreads", geomean(vsPT))
-	r.set("geomean/pagoda-vs-hyperq", geomean(vsHQ))
-	r.set("geomean/pagoda-vs-gemtc", geomean(vsGM))
-	r.note("geomean Pagoda speedup: %.2fx over PThreads (paper: 5.70x), %.2fx over CUDA-HyperQ (paper: 1.51x), %.2fx over GeMTC (paper: 1.69x)",
-		geomean(vsPT), geomean(vsHQ), geomean(vsGM))
+	for _, sc := range schemes {
+		if sc.Key != "pagoda" {
+			r.set("geomean/pagoda-vs-"+sc.Key, geomean(vsGPU[sc.Key]))
+		}
+	}
+	r.note("geomean Pagoda speedup: %.2fx over PThreads (paper: 5.70x), %.2fx over CUDA-HyperQ (paper: 1.51x), %.2fx over GeMTC (paper: 1.69x), %.2fx over Zorua",
+		geomean(vsPT), geomean(vsGPU["hyperq"]), geomean(vsGPU["gemtc"]), geomean(vsGPU["zorua"]))
 	return r
 }
 
@@ -200,10 +278,11 @@ func Fig6(p Params) *Report {
 	}
 	r := newReport("fig6", "Weak scaling with number of tasks (execution time, ms)",
 		append([]string{"Benchmark", "Scheme"}, intsToStrings(kept)...)...)
+	schemes := runners.Schemes()
 	type fig6Cells struct {
-		name       string
-		n          int
-		hq, gm, pg *runners.Result
+		name string
+		n    int
+		by   []*runners.Result // parallel to schemes
 	}
 	s := newSweep(p)
 	var cells []fig6Cells
@@ -212,27 +291,24 @@ func Fig6(p Params) *Report {
 		cfg := p.runnerCfg()
 		for _, n := range kept {
 			opt := workloads.Options{Tasks: n, Threads: 128, Seed: p.Seed}
-			cells = append(cells, fig6Cells{
-				name: name, n: n,
-				hq: s.cell(b, opt, cfg, runners.RunHyperQ),
-				gm: s.cell(b, opt, cfg, runners.RunGeMTC),
-				pg: s.cell(b, opt, cfg, runners.RunPagoda),
-			})
+			c := fig6Cells{name: name, n: n}
+			for _, sc := range schemes {
+				c.by = append(c.by, s.cell(b, opt, cfg, sc.Run))
+			}
+			cells = append(cells, c)
 		}
 	}
 	s.run()
 
 	rows := map[string][]string{}
 	for _, c := range cells {
-		rows["CUDA-HyperQ"] = append(rows["CUDA-HyperQ"], ms(c.hq.Elapsed))
-		rows["GeMTC"] = append(rows["GeMTC"], ms(c.gm.Elapsed))
-		rows["Pagoda"] = append(rows["Pagoda"], ms(c.pg.Elapsed))
-		r.set(fmt.Sprintf("%s/hyperq/%d", c.name, c.n), c.hq.Elapsed)
-		r.set(fmt.Sprintf("%s/gemtc/%d", c.name, c.n), c.gm.Elapsed)
-		r.set(fmt.Sprintf("%s/pagoda/%d", c.name, c.n), c.pg.Elapsed)
-		if len(rows["Pagoda"]) == len(kept) { // benchmark complete: emit its 3 rows
-			for _, scheme := range []string{"CUDA-HyperQ", "GeMTC", "Pagoda"} {
-				r.addRow(append([]string{c.name, scheme}, rows[scheme]...)...)
+		for i, sc := range schemes {
+			rows[sc.Key] = append(rows[sc.Key], ms(c.by[i].Elapsed))
+			r.set(fmt.Sprintf("%s/%s/%d", c.name, sc.Key, c.n), c.by[i].Elapsed)
+		}
+		if len(rows["pagoda"]) == len(kept) { // benchmark complete: emit its rows
+			for _, sc := range schemes {
+				r.addRow(append([]string{c.name, sc.Display}, rows[sc.Key]...)...)
 			}
 			rows = map[string][]string{}
 		}
@@ -250,11 +326,12 @@ func Fig7(p Params) *Report {
 		append([]string{"Benchmark", "Scheme"}, intsToStrings(threadCounts)...)...)
 	cfg := p.runnerCfg()
 	cfg.CopyData = false
+	schemes := runners.Schemes()
 
 	type fig7Cells struct {
-		name       string
-		th         int
-		hq, gm, pg *runners.Result
+		name string
+		th   int
+		by   []*runners.Result // parallel to schemes
 	}
 	s := newSweep(p)
 	var cells []fig7Cells
@@ -262,47 +339,54 @@ func Fig7(p Params) *Report {
 		b, _ := workloads.ByName(name)
 		for _, th := range threadCounts {
 			opt := workloads.Options{Tasks: p.Tasks, Threads: th, Seed: p.Seed}
-			cells = append(cells, fig7Cells{
-				name: name, th: th,
-				hq: s.cell(b, opt, cfg, runners.RunHyperQ),
-				gm: s.cell(b, opt, cfg, runners.RunGeMTC),
-				pg: s.cell(b, opt, cfg, runners.RunPagoda),
-			})
+			c := fig7Cells{name: name, th: th}
+			for _, sc := range schemes {
+				c.by = append(c.by, s.cell(b, opt, cfg, sc.Run))
+			}
+			cells = append(cells, c)
 		}
 	}
 	s.run()
 
-	var vsHQ128, vsGM128, p99vsHQ128 []float64
+	pgIdx := 0
+	for i, sc := range schemes {
+		if sc.Key == "pagoda" {
+			pgIdx = i
+		}
+	}
+	vs128 := make(map[string][]float64) // pagoda ratio series at 128 threads per scheme key
+	var p99vsHQ128 []float64
 	rows := map[string][]string{}
 	for _, c := range cells {
-		rows["CUDA-HyperQ"] = append(rows["CUDA-HyperQ"], ms(c.hq.Elapsed))
-		rows["GeMTC"] = append(rows["GeMTC"], ms(c.gm.Elapsed))
-		rows["Pagoda"] = append(rows["Pagoda"], ms(c.pg.Elapsed))
-		r.set(fmt.Sprintf("%s/hyperq/%d", c.name, c.th), c.hq.Elapsed)
-		r.set(fmt.Sprintf("%s/gemtc/%d", c.name, c.th), c.gm.Elapsed)
-		r.set(fmt.Sprintf("%s/pagoda/%d", c.name, c.th), c.pg.Elapsed)
-		// Exact per-task p99 alongside each makespan point (us; nearest-rank
-		// order statistics from the runs' latency vectors).
-		r.set(fmt.Sprintf("%s/p99us/hyperq/%d", c.name, c.th), c.hq.P99Latency/1e3)
-		r.set(fmt.Sprintf("%s/p99us/gemtc/%d", c.name, c.th), c.gm.P99Latency/1e3)
-		r.set(fmt.Sprintf("%s/p99us/pagoda/%d", c.name, c.th), c.pg.P99Latency/1e3)
-		if c.th == 128 {
-			vsHQ128 = append(vsHQ128, c.hq.Elapsed/c.pg.Elapsed)
-			vsGM128 = append(vsGM128, c.gm.Elapsed/c.pg.Elapsed)
-			p99vsHQ128 = append(p99vsHQ128, c.hq.P99Latency/c.pg.P99Latency)
+		pg := c.by[pgIdx]
+		for i, sc := range schemes {
+			rows[sc.Key] = append(rows[sc.Key], ms(c.by[i].Elapsed))
+			r.set(fmt.Sprintf("%s/%s/%d", c.name, sc.Key, c.th), c.by[i].Elapsed)
+			// Exact per-task p99 alongside each makespan point (us; nearest-rank
+			// order statistics from the runs' latency vectors).
+			r.set(fmt.Sprintf("%s/p99us/%s/%d", c.name, sc.Key, c.th), c.by[i].P99Latency/1e3)
+			if c.th == 128 && sc.Key != "pagoda" {
+				vs128[sc.Key] = append(vs128[sc.Key], c.by[i].Elapsed/pg.Elapsed)
+				if sc.Key == "hyperq" {
+					p99vsHQ128 = append(p99vsHQ128, c.by[i].P99Latency/pg.P99Latency)
+				}
+			}
 		}
-		if len(rows["Pagoda"]) == len(threadCounts) { // benchmark complete
-			for _, scheme := range []string{"CUDA-HyperQ", "GeMTC", "Pagoda"} {
-				r.addRow(append([]string{c.name, scheme}, rows[scheme]...)...)
+		if len(rows["pagoda"]) == len(threadCounts) { // benchmark complete
+			for _, sc := range schemes {
+				r.addRow(append([]string{c.name, sc.Display}, rows[sc.Key]...)...)
 			}
 			rows = map[string][]string{}
 		}
 	}
-	r.set("geomean128/pagoda-vs-hyperq", geomean(vsHQ128))
-	r.set("geomean128/pagoda-vs-gemtc", geomean(vsGM128))
+	for _, sc := range schemes {
+		if sc.Key != "pagoda" {
+			r.set("geomean128/pagoda-vs-"+sc.Key, geomean(vs128[sc.Key]))
+		}
+	}
 	r.set("geomean128/p99/pagoda-vs-hyperq", geomean(p99vsHQ128))
-	r.note("geomean at 128 threads: Pagoda %.2fx over HyperQ (paper: 2.29x), %.2fx over GeMTC (paper: 2.26x)",
-		geomean(vsHQ128), geomean(vsGM128))
+	r.note("geomean at 128 threads: Pagoda %.2fx over HyperQ (paper: 2.29x), %.2fx over GeMTC (paper: 2.26x), %.2fx over Zorua",
+		geomean(vs128["hyperq"]), geomean(vs128["gemtc"]), geomean(vs128["zorua"]))
 	r.note("geomean p99 latency at 128 threads: HyperQ %.2fx Pagoda's (per-scheme p99 series under <bench>/p99us/<scheme>/<threads>)",
 		geomean(p99vsHQ128))
 	return r

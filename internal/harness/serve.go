@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/runners"
 	"repro/internal/serve"
@@ -32,30 +33,15 @@ func serveTaskCount(p Params) int {
 	return p.Tasks
 }
 
-// serveScheme pairs a result key with a timed-submission runner. Only the
-// GPU schemes appear: the CPU baselines have no spawn path to meter against
-// virtual-time arrivals.
-type serveScheme struct {
-	key     string // Values key component
-	display string // table cell
-	run     func([]workloads.TaskDef, runners.OpenLoop, runners.Config) (runners.Result, []serve.Record)
-}
-
-func serveSchemes() []serveScheme {
-	return []serveScheme{
-		{"hyperq", "CUDA-HyperQ", runners.RunHyperQOpenLoop},
-		{"gemtc", "GeMTC", runners.RunGeMTCOpenLoop},
-		{"pagoda", "Pagoda", runners.RunPagodaOpenLoop},
-	}
-}
-
 // serveCell enqueues one open-loop simulation and returns the slot holding
 // its summary after run(). The policy is constructed inside the cell so
 // stateful policies (the token bucket) stay private to the run, and arrivals
 // are regenerated per cell (generators are pure values), keeping cells
-// independent at any harness parallelism.
+// independent at any harness parallelism. Only the GPU schemes are swept:
+// the CPU baselines have no spawn path to meter against virtual-time
+// arrivals.
 func serveCell(s *sweep, b workloads.Benchmark, opt workloads.Options, cfg runners.Config,
-	gen serve.Generator, pol func() serve.Policy, sc serveScheme, slo sim.Time) *serve.Stats {
+	gen serve.Generator, pol func() serve.Policy, sc runners.Scheme, slo sim.Time) *serve.Stats {
 	out := new(serve.Stats)
 	s.add(func() {
 		tasks := b.Make(opt)
@@ -63,7 +49,7 @@ func serveCell(s *sweep, b workloads.Benchmark, opt workloads.Options, cfg runne
 		if pol != nil {
 			ol.Admit = pol().Admit
 		}
-		_, recs := sc.run(tasks, ol, cfg)
+		_, recs := sc.RunOpenLoop(tasks, ol, cfg)
 		*out = serve.Summarize(recs, slo)
 	})
 	return out
@@ -110,7 +96,7 @@ func ServeLatency(p Params) *Report {
 	type latCell struct {
 		rate   float64
 		policy string
-		sc     serveScheme
+		sc     runners.Scheme
 		st     *serve.Stats
 	}
 	s := newSweep(p)
@@ -118,7 +104,7 @@ func ServeLatency(p Params) *Report {
 	for _, rate := range rates {
 		gen := serve.Poisson{Rate: rate, Seed: p.Seed}
 		for _, pol := range servePolicies(rate) {
-			for _, sc := range serveSchemes() {
+			for _, sc := range p.gpuSchemes() {
 				cells = append(cells, latCell{rate, pol.label, sc,
 					serveCell(s, b, opt, cfg, gen, pol.mk, sc, slo)})
 			}
@@ -128,11 +114,11 @@ func ServeLatency(p Params) *Report {
 
 	for _, c := range cells {
 		st := *c.st
-		r.addRow(fmt.Sprintf("%.0f", c.rate), c.policy, c.sc.display,
+		r.addRow(fmt.Sprintf("%.0f", c.rate), c.policy, c.sc.Display,
 			us(st.P50), us(st.P90), us(st.P99), us(st.Max),
 			us(st.MeanWait), us(st.MeanService),
 			fmt.Sprint(st.Dropped), f2(st.Goodput))
-		key := fmt.Sprintf("%s/%s/%.0f", c.sc.key, c.policy, c.rate)
+		key := fmt.Sprintf("%s/%s/%.0f", c.sc.Key, c.policy, c.rate)
 		r.set(key+"/p99us", st.P99/1e3)
 		r.set(key+"/waitus", st.MeanWait/1e3)
 		r.set(key+"/drops", float64(st.Dropped))
@@ -170,35 +156,47 @@ func ServeCapacity(p Params) *Report {
 	cfg := p.runnerCfg()
 
 	s := newSweep(p)
+	schemes := p.gpuSchemes()
 	cells := make(map[string][]*serve.Stats)
-	for _, sc := range serveSchemes() {
+	for _, sc := range schemes {
 		for _, rate := range rates {
 			gen := serve.Poisson{Rate: rate, Seed: p.Seed}
-			cells[sc.key] = append(cells[sc.key], serveCell(s, b, opt, cfg, gen, nil, sc, slo))
+			cells[sc.Key] = append(cells[sc.Key], serveCell(s, b, opt, cfg, gen, nil, sc, slo))
 		}
 	}
 	s.run()
 
 	maxRates := make(map[string]float64)
-	for _, sc := range serveSchemes() {
-		row := []string{sc.display}
+	for _, sc := range schemes {
+		row := []string{sc.Display}
 		ok := make([]bool, len(rates))
 		for i, rate := range rates {
-			st := *cells[sc.key][i]
+			st := *cells[sc.Key][i]
 			ok[i] = st.SLOSatisfied()
 			row = append(row, cond(ok[i], us(st.P99), us(st.P99)+"*"))
-			r.set(fmt.Sprintf("%s/p99us/%.0f", sc.key, rate), st.P99/1e3)
-			r.set(fmt.Sprintf("%s/goodput/%.0f", sc.key, rate), st.Goodput)
+			r.set(fmt.Sprintf("%s/p99us/%.0f", sc.Key, rate), st.P99/1e3)
+			r.set(fmt.Sprintf("%s/goodput/%.0f", sc.Key, rate), st.Goodput)
 		}
 		max := serve.MaxSustainable(rates, ok)
-		maxRates[sc.key] = max
-		r.set(sc.key+"/max-rate", max)
+		maxRates[sc.Key] = max
+		r.set(sc.Key+"/max-rate", max)
 		row = append(row, cond(max > 0, fmt.Sprintf("%.0f", max), "none"))
 		r.addRow(row...)
 	}
-	r.note("max sustainable rate under the %.0fus p99 SLO: Pagoda %s, CUDA-HyperQ %s, GeMTC %s (highest ladder rate whose whole prefix met the SLO with no drops)",
-		slo/1e3, rateStr(maxRates["pagoda"]), rateStr(maxRates["hyperq"]), rateStr(maxRates["gemtc"]))
+	r.note("max sustainable rate under the %.0fus p99 SLO: %s (highest ladder rate whose whole prefix met the SLO with no drops)",
+		slo/1e3, capacitySummary(schemes, maxRates))
 	return r
+}
+
+// capacitySummary renders every swept scheme's headline max-rate in sweep
+// order. Derived from the scheme list — not a hand-written format string —
+// so a newly registered scheme cannot be silently missing from the summary.
+func capacitySummary(schemes []runners.Scheme, maxRates map[string]float64) string {
+	parts := make([]string, len(schemes))
+	for i, sc := range schemes {
+		parts[i] = fmt.Sprintf("%s %s", sc.Display, rateStr(maxRates[sc.Key]))
+	}
+	return strings.Join(parts, ", ")
 }
 
 func rateStr(rate float64) string {

@@ -2,7 +2,10 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 	"testing"
+
+	"repro/internal/runners"
 )
 
 // tinyParams makes each generator cheap enough to exercise structurally
@@ -15,11 +18,11 @@ func TestFig6Structure(t *testing.T) {
 		t.Skip("harness sweep")
 	}
 	r := Fig6(tinyParams())
-	// 5 benchmarks x 3 schemes.
-	if len(r.Rows) != 15 {
-		t.Fatalf("fig6 rows = %d, want 15", len(r.Rows))
+	want := 5 * len(runners.Schemes()) // 5 benchmarks x registered schemes
+	if len(r.Rows) != want {
+		t.Fatalf("fig6 rows = %d, want %d", len(r.Rows), want)
 	}
-	for _, key := range []string{"MB/pagoda/64", "DCT/hyperq/64", "MPE/gemtc/64"} {
+	for _, key := range []string{"MB/pagoda/64", "DCT/hyperq/64", "MPE/gemtc/64", "MB/zorua/64"} {
 		if r.Get(key) <= 0 {
 			t.Errorf("fig6 missing series point %s", key)
 		}
@@ -31,11 +34,14 @@ func TestFig7Structure(t *testing.T) {
 		t.Skip("harness sweep")
 	}
 	r := Fig7(tinyParams())
-	if len(r.Rows) != 8*3 {
-		t.Fatalf("fig7 rows = %d, want 24", len(r.Rows))
+	want := 8 * len(runners.Schemes())
+	if len(r.Rows) != want {
+		t.Fatalf("fig7 rows = %d, want %d", len(r.Rows), want)
 	}
-	if r.Get("geomean128/pagoda-vs-hyperq") <= 0 {
-		t.Error("fig7 geomean not recorded")
+	for _, key := range []string{"geomean128/pagoda-vs-hyperq", "geomean128/pagoda-vs-zorua"} {
+		if r.Get(key) <= 0 {
+			t.Errorf("fig7 %s not recorded", key)
+		}
 	}
 	// Work per task constant across thread counts: times comparable (same
 	// order of magnitude) between 32 and 512 threads for a regular load.
@@ -140,28 +146,31 @@ func TestServeLatencyStructure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness sweep")
 	}
-	r := ServeLatency(tinyParams())
-	// 2 rates x 3 policies x 3 schemes.
-	if len(r.Rows) != 18 {
-		t.Fatalf("serve_latency rows = %d, want 18", len(r.Rows))
+	p := tinyParams()
+	r := ServeLatency(p)
+	// 2 rates x 3 policies x registered schemes.
+	want := 2 * 3 * len(p.gpuSchemes())
+	if len(r.Rows) != want {
+		t.Fatalf("serve_latency rows = %d, want %d", len(r.Rows), want)
 	}
 	for _, key := range []string{
 		"pagoda/unbounded/16000/p99us",
 		"hyperq/queue64/256000/goodput",
 		"gemtc/token/16000/drops",
+		"zorua/unbounded/16000/p99us",
 	} {
 		if _, ok := r.Lookup(key); !ok {
 			t.Errorf("serve_latency missing value %s", key)
 		}
 	}
-	for _, sc := range serveSchemes() {
+	for _, sc := range p.gpuSchemes() {
 		for _, rate := range []string{"16000", "256000"} {
-			if d := mustGet(t, r, sc.key+"/unbounded/"+rate+"/drops"); d != 0 {
-				t.Errorf("serve_latency %s unbounded@%s dropped %v tasks", sc.key, rate, d)
+			if d := mustGet(t, r, sc.Key+"/unbounded/"+rate+"/drops"); d != 0 {
+				t.Errorf("serve_latency %s unbounded@%s dropped %v tasks", sc.Key, rate, d)
 			}
-			g := mustGet(t, r, sc.key+"/unbounded/"+rate+"/goodput")
+			g := mustGet(t, r, sc.Key+"/unbounded/"+rate+"/goodput")
 			if g < 0 || g > 1 {
-				t.Errorf("serve_latency %s goodput out of range: %v", sc.key, g)
+				t.Errorf("serve_latency %s goodput out of range: %v", sc.Key, g)
 			}
 		}
 	}
@@ -171,24 +180,25 @@ func TestServeCapacityStructure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness sweep")
 	}
-	r := ServeCapacity(tinyParams())
-	if len(r.Rows) != 3 {
-		t.Fatalf("serve_capacity rows = %d, want 3", len(r.Rows))
+	p := tinyParams()
+	r := ServeCapacity(p)
+	if len(r.Rows) != len(p.gpuSchemes()) {
+		t.Fatalf("serve_capacity rows = %d, want %d", len(r.Rows), len(p.gpuSchemes()))
 	}
 	rates := []string{"4000", "8000", "16000", "32000", "64000", "128000", "256000", "512000"}
-	for _, sc := range serveSchemes() {
+	for _, sc := range p.gpuSchemes() {
 		for _, rate := range rates {
-			if p99 := mustGet(t, r, sc.key+"/p99us/"+rate); p99 <= 0 {
-				t.Errorf("serve_capacity %s p99@%s = %v, want > 0", sc.key, rate, p99)
+			if p99 := mustGet(t, r, sc.Key+"/p99us/"+rate); p99 <= 0 {
+				t.Errorf("serve_capacity %s p99@%s = %v, want > 0", sc.Key, rate, p99)
 			}
-			g := mustGet(t, r, sc.key+"/goodput/"+rate)
+			g := mustGet(t, r, sc.Key+"/goodput/"+rate)
 			if g < 0 || g > 1 {
-				t.Errorf("serve_capacity %s goodput@%s out of range: %v", sc.key, rate, g)
+				t.Errorf("serve_capacity %s goodput@%s out of range: %v", sc.Key, rate, g)
 			}
 		}
 		// max-rate is 0 (nothing sustainable) or a ladder rate; mustGet also
 		// pins that the headline key is recorded at all.
-		max := mustGet(t, r, sc.key+"/max-rate")
+		max := mustGet(t, r, sc.Key+"/max-rate")
 		found := max == 0
 		for _, rate := range rates {
 			if fmt.Sprintf("%.0f", max) == rate {
@@ -196,15 +206,31 @@ func TestServeCapacityStructure(t *testing.T) {
 			}
 		}
 		if !found {
-			t.Errorf("serve_capacity %s max-rate %v is not on the ladder", sc.key, max)
+			t.Errorf("serve_capacity %s max-rate %v is not on the ladder", sc.Key, max)
 		}
 	}
 	// Offering more load never shrinks the unbounded-queueing tail: the top
 	// of the ladder must be at least as slow as the bottom for every scheme.
-	for _, sc := range serveSchemes() {
-		lo, hi := mustGet(t, r, sc.key+"/p99us/4000"), mustGet(t, r, sc.key+"/p99us/512000")
+	for _, sc := range p.gpuSchemes() {
+		lo, hi := mustGet(t, r, sc.Key+"/p99us/4000"), mustGet(t, r, sc.Key+"/p99us/512000")
 		if hi < lo {
-			t.Errorf("serve_capacity %s p99 fell under load: %v at 4k/s, %v at 512k/s", sc.key, lo, hi)
+			t.Errorf("serve_capacity %s p99 fell under load: %v at 4k/s, %v at 512k/s", sc.Key, lo, hi)
+		}
+	}
+	// The capacity-summary note must name every swept scheme — the registry
+	// regression for the old hard-coded three-scheme format string.
+	var note string
+	for _, n := range r.Notes {
+		if strings.Contains(n, "max sustainable rate") {
+			note = n
+		}
+	}
+	if note == "" {
+		t.Fatal("serve_capacity has no max-sustainable-rate note")
+	}
+	for _, sc := range p.gpuSchemes() {
+		if !strings.Contains(note, sc.Display) {
+			t.Errorf("capacity summary note omits scheme %s: %q", sc.Display, note)
 		}
 	}
 }

@@ -332,8 +332,10 @@ type hyperqNode struct {
 
 const hyperqNodeStreams = 32
 
-func newHyperQNode(eng *sim.Engine, name string, tasks []workloads.TaskDef,
-	recs []serve.Record, admit func(sim.Time, int) bool, cfg Config) *hyperqNode {
+// newKernelPerTaskNode builds one kernel-per-task node: a static device for
+// HyperQ (zero Oversub), a virtualized one for zorua.
+func newKernelPerTaskNode(eng *sim.Engine, name string, tasks []workloads.TaskDef,
+	recs []serve.Record, admit func(sim.Time, int) bool, cfg Config, ov gpu.Oversub) *hyperqNode {
 	n := &hyperqNode{
 		nodeBase: nodeBase{name: name, admit: admit},
 		eng:      eng,
@@ -343,6 +345,9 @@ func newHyperQNode(eng *sim.Engine, name string, tasks []workloads.TaskDef,
 		streams:  make([]*cuda.Stream, hyperqNodeStreams),
 	}
 	n.sys = newSystemOn(eng, cfg)
+	if ov.Enabled() {
+		n.sys.dev.Virtualize(ov)
+	}
 	for i := range n.streams {
 		n.streams[i] = n.sys.ctx.NewStream()
 	}
@@ -421,12 +426,20 @@ func (n *hyperqNode) host(p *sim.Proc) {
 // task runs as its own kernel over the owning node's 32 streams. Start/Done
 // semantics match RunHyperQOpenLoop.
 func RunHyperQCluster(tasks []workloads.TaskDef, co ClusterOpenLoop, cfg Config) (Result, ClusterRun) {
+	return runKernelPerTaskCluster(tasks, co, cfg, gpu.Oversub{}, "hyperq")
+}
+
+// runKernelPerTaskCluster is the shared kernel-per-task fleet engine behind
+// RunHyperQCluster and RunZoruaCluster; scheme names the per-node trace
+// tracks ("node00/serve-<scheme>").
+func runKernelPerTaskCluster(tasks []workloads.TaskDef, co ClusterOpenLoop, cfg Config,
+	ov gpu.Oversub, scheme string) (Result, ClusterRun) {
 	eng := sim.New()
 	recs := make([]serve.Record, len(tasks))
 	nodes := make([]*hyperqNode, co.nodes())
 	fleet := make([]cluster.Node, len(nodes))
 	for i := range nodes {
-		nodes[i] = newHyperQNode(eng, fmt.Sprintf("node%02d", i), tasks, recs, co.nodeAdmit(), cfg)
+		nodes[i] = newKernelPerTaskNode(eng, fmt.Sprintf("node%02d", i), tasks, recs, co.nodeAdmit(), cfg, ov)
 		fleet[i] = nodes[i]
 	}
 	nodeOf := make([]int, len(tasks))
@@ -448,7 +461,7 @@ func RunHyperQCluster(tasks []workloads.TaskDef, co ClusterOpenLoop, cfg Config)
 	var occ, iu float64
 	for i, n := range nodes {
 		cr.Views[i] = n.View()
-		cr.Names[i] = nodeTrack(i, "hyperq")
+		cr.Names[i] = nodeTrack(i, scheme)
 		m := n.sys.dev.Metrics()
 		occ += m.AvgOccupancy
 		iu += m.IssueUtil

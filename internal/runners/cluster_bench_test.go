@@ -16,19 +16,12 @@ func BenchmarkCluster(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.SMMs = 24
 	arr := serve.Poisson{Rate: 4 * 64e3, Seed: 1}.Times(len(tasks))
-	runs := []struct {
-		name string
-		run  func([]workloads.TaskDef, ClusterOpenLoop, Config) (Result, ClusterRun)
-	}{
-		{"pagoda", RunPagodaCluster},
-		{"hyperq", RunHyperQCluster},
-		{"gemtc", RunGeMTCCluster},
-	}
-	for _, r := range runs {
-		b.Run(r.name, func(b *testing.B) {
+	for _, be := range clusterBackends() {
+		be := be
+		b.Run(be.key, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				co := ClusterOpenLoop{Arrivals: arr, Nodes: 4, Policy: cluster.NewRoundRobin()}
-				_, cr := r.run(tasks, co, cfg)
+				_, cr := be.cluster(tasks, co, cfg)
 				if err := cr.CheckConservation(); err != nil {
 					b.Fatal(err)
 				}

@@ -18,12 +18,14 @@ type clusterBackend struct {
 	cluster func([]workloads.TaskDef, ClusterOpenLoop, Config) (Result, ClusterRun)
 }
 
+// clusterBackends derives the gate list from the scheme registry, so a newly
+// registered scheme is covered by every fleet gate automatically.
 func clusterBackends() []clusterBackend {
-	return []clusterBackend{
-		{"pagoda", RunPagodaOpenLoop, RunPagodaCluster},
-		{"hyperq", RunHyperQOpenLoop, RunHyperQCluster},
-		{"gemtc", RunGeMTCOpenLoop, RunGeMTCCluster},
+	var out []clusterBackend
+	for _, s := range Schemes() {
+		out = append(out, clusterBackend{s.Key, s.RunOpenLoop, s.RunCluster})
 	}
+	return out
 }
 
 func clusterTestTasks(t *testing.T, n int) []workloads.TaskDef {

@@ -81,9 +81,9 @@ func TestDoubleRunDeterminism(t *testing.T) {
 	}
 }
 
-// TestDoubleRunResultsIdentical runs the public runner entry points twice
-// and requires every reported metric to match bit-for-bit, covering the
-// paths the harness actually sweeps.
+// TestDoubleRunResultsIdentical runs every registered scheme's closed-loop
+// entry point twice and requires every reported metric to match bit-for-bit,
+// covering the paths the harness actually sweeps.
 func TestDoubleRunResultsIdentical(t *testing.T) {
 	b, err := workloads.ByName("MB")
 	if err != nil {
@@ -92,14 +92,11 @@ func TestDoubleRunResultsIdentical(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SMMs = 8
 	opt := workloads.Options{Tasks: 64, Threads: 128, Seed: 1, UseShared: b.SupportsShared}
-	for sys, fn := range map[string]func([]workloads.TaskDef, Config) Result{
-		"pagoda": RunPagoda,
-		"hyperq": RunHyperQ,
-	} {
-		r1 := fn(b.Make(opt), cfg)
-		r2 := fn(b.Make(opt), cfg)
+	for _, s := range Schemes() {
+		r1 := s.Run(b.Make(opt), cfg)
+		r2 := s.Run(b.Make(opt), cfg)
 		if r1 != r2 {
-			t.Errorf("%s: results differ between identical runs:\n  %+v\n  %+v", sys, r1, r2)
+			t.Errorf("%s: results differ between identical runs:\n  %+v\n  %+v", s.Key, r1, r2)
 		}
 	}
 }

@@ -16,7 +16,17 @@ import (
 // hardware schedules at threadblock granularity and a narrow task's kernel
 // occupies very little of the device.
 func RunHyperQ(tasks []workloads.TaskDef, cfg Config) Result {
+	return runKernelPerTask(tasks, cfg, gpu.Oversub{})
+}
+
+// runKernelPerTask is the shared kernel-per-task closed-loop engine: HyperQ
+// runs it on the static device (zero Oversub), zorua on a virtualized one —
+// the two schemes differ only in how the device admits threadblocks.
+func runKernelPerTask(tasks []workloads.TaskDef, cfg Config, ov gpu.Oversub) Result {
 	sys := newSystem(cfg)
+	if ov.Enabled() {
+		sys.dev.Virtualize(ov)
+	}
 	const numStreams = 32
 	streams := make([]*cuda.Stream, numStreams)
 	for i := range streams {

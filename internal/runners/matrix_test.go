@@ -7,18 +7,22 @@ import (
 )
 
 // TestVerificationMatrix runs every benchmark's real computation under every
-// GPU execution scheme and the CPU pool, verifying all results — the
-// integration matrix for the whole repository: 9 workloads x 5 schemes.
+// registered GPU execution scheme plus static fusion and the CPU pool,
+// verifying all results — the integration matrix for the whole repository:
+// 9 workloads x 6 schemes.
 func TestVerificationMatrix(t *testing.T) {
 	schemes := []struct {
 		name string
 		fn   func([]workloads.TaskDef, Config) Result
 	}{
-		{"pagoda", RunPagoda},
-		{"hyperq", RunHyperQ},
-		{"gemtc", RunGeMTC},
 		{"fusion", RunFusion},
 		{"pthreads", RunPThreads},
+	}
+	for _, s := range Schemes() {
+		schemes = append(schemes, struct {
+			name string
+			fn   func([]workloads.TaskDef, Config) Result
+		}{s.Key, s.Run})
 	}
 	names := []string{"MB", "FB", "BF", "CONV", "DCT", "MM", "SLUD", "3DES", "MPE"}
 	for _, name := range names {
@@ -37,7 +41,7 @@ func TestVerificationMatrix(t *testing.T) {
 					opt.InputSize = 0 // these size themselves
 				}
 				// Shared-memory variants only where the scheme supports it.
-				if b.SupportsShared && (s.name == "pagoda" || s.name == "hyperq" || s.name == "fusion") {
+				if b.SupportsShared && s.name != "gemtc" && s.name != "pthreads" {
 					opt.UseShared = true
 				}
 				tasks := b.Make(opt)

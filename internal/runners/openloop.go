@@ -203,8 +203,19 @@ func RunPagodaOpenLoop(tasks []workloads.TaskDef, ol OpenLoop, cfg Config) (Resu
 // held, launch overhead paid); Done is the end of the task's output copy —
 // the stream-FIFO point where the host could consume the result.
 func RunHyperQOpenLoop(tasks []workloads.TaskDef, ol OpenLoop, cfg Config) (Result, []serve.Record) {
+	return runKernelPerTaskOpenLoop(tasks, ol, cfg, gpu.Oversub{}, "hyperq")
+}
+
+// runKernelPerTaskOpenLoop is the shared kernel-per-task open-loop engine:
+// HyperQ runs it on the static device (zero Oversub), zorua on a virtualized
+// one. Serve spans land on the "serve-<scheme>" track.
+func runKernelPerTaskOpenLoop(tasks []workloads.TaskDef, ol OpenLoop, cfg Config,
+	ov gpu.Oversub, scheme string) (Result, []serve.Record) {
 	ol.validate(len(tasks))
 	sys := newSystem(cfg)
+	if ov.Enabled() {
+		sys.dev.Virtualize(ov)
+	}
 	recs := make([]serve.Record, len(tasks))
 	const numStreams = 32
 	streams := make([]*cuda.Stream, numStreams)
@@ -265,7 +276,7 @@ func RunHyperQOpenLoop(tasks []workloads.TaskDef, ol OpenLoop, cfg Config) (Resu
 	m := sys.dev.Metrics()
 	res.Occupancy = m.AvgOccupancy
 	res.IssueUtil = m.IssueUtil
-	addServeSpans(ol.Trace, "serve-hyperq", recs)
+	addServeSpans(ol.Trace, "serve-"+scheme, recs)
 	return res, recs
 }
 

@@ -30,12 +30,14 @@ type olRunner struct {
 	run  func([]workloads.TaskDef, OpenLoop, Config) (Result, []serve.Record)
 }
 
+// olRunners derives the gate list from the scheme registry, so a newly
+// registered scheme is covered by every open-loop gate automatically.
 func olRunners() []olRunner {
-	return []olRunner{
-		{"pagoda", RunPagodaOpenLoop},
-		{"hyperq", RunHyperQOpenLoop},
-		{"gemtc", RunGeMTCOpenLoop},
+	var out []olRunner
+	for _, s := range Schemes() {
+		out = append(out, olRunner{s.Key, s.RunOpenLoop})
 	}
+	return out
 }
 
 // TestOpenLoopDeterministic: two identical open-loop runs must agree bit for

@@ -1,0 +1,54 @@
+package runners
+
+import (
+	"repro/internal/serve"
+	"repro/internal/workloads"
+)
+
+// Scheme is one GPU execution scheme's complete entry-point surface: the
+// closed-loop, open-loop and cluster runners under one stable key. The
+// registry is the single source of truth the harness tables, the CLI's
+// -scheme filter, the perf baselines and the cross-scheme test gates
+// (determinism, conservation, 1-node golden) all derive from — a scheme
+// registered here inherits every gate and every report column without
+// further wiring.
+type Scheme struct {
+	Key     string // stable id: flags, Values keys, perf metric names
+	Display string // table cell / report name
+
+	Run         func([]workloads.TaskDef, Config) Result
+	RunOpenLoop func([]workloads.TaskDef, OpenLoop, Config) (Result, []serve.Record)
+	RunCluster  func([]workloads.TaskDef, ClusterOpenLoop, Config) (Result, ClusterRun)
+}
+
+// Schemes returns the GPU scheme registry in canonical report order. Only
+// GPU schemes appear: the CPU baselines (PThreads, sequential) have no
+// open-loop or fleet form to register.
+func Schemes() []Scheme {
+	return []Scheme{
+		{"hyperq", "CUDA-HyperQ", RunHyperQ, RunHyperQOpenLoop, RunHyperQCluster},
+		{"gemtc", "GeMTC", RunGeMTC, RunGeMTCOpenLoop, RunGeMTCCluster},
+		{"pagoda", "Pagoda", RunPagoda, RunPagodaOpenLoop, RunPagodaCluster},
+		{"zorua", "Zorua", RunZorua, RunZoruaOpenLoop, RunZoruaCluster},
+	}
+}
+
+// SchemeKeys returns the registered keys in canonical order.
+func SchemeKeys() []string {
+	ss := Schemes()
+	keys := make([]string, len(ss))
+	for i, s := range ss {
+		keys[i] = s.Key
+	}
+	return keys
+}
+
+// SchemeByKey looks a scheme up by its stable key.
+func SchemeByKey(key string) (Scheme, bool) {
+	for _, s := range Schemes() {
+		if s.Key == key {
+			return s, true
+		}
+	}
+	return Scheme{}, false
+}

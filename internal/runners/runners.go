@@ -48,6 +48,13 @@ type Config struct {
 	// PagodaBatching enables the Fig. 11 ablation.
 	PagodaBatching bool
 
+	// Oversub parameterizes the zorua scheme's dynamic resource
+	// virtualization (per-resource oversubscription factors and spill
+	// price). Only the zorua runners read it; the zero value means the
+	// scheme default (gpu.DefaultOversub), while explicit unity factors
+	// make zorua admit exactly like the static hardware model.
+	Oversub gpu.Oversub
+
 	// CPUCores sizes the PThreads pool (paper: 20).
 	CPUCores int
 }
