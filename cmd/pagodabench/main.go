@@ -49,6 +49,8 @@ func run(out, errw io.Writer, args []string) int {
 	policy := fs.String("policy", "rr", "cluster routing policy: "+strings.Join(cluster.PolicyNames(), ", "))
 	scheme := fs.String("scheme", "", "GPU scheme(s) the serve_*/cluster_* experiments sweep, comma-separated (default all): "+strings.Join(runners.SchemeKeys(), ", "))
 	oversub := fs.Float64("oversub", 0, "zorua oversubscription factor (0 = scheme default 1.5, 1 = physical admission)")
+	tenants := fs.Int("tenants", 3, "tenant classes for the tenant_qos experiment")
+	misbehave := fs.Int("misbehave", 1, "tenant_qos class index offering 10x its contracted rate (-1 = all honest)")
 	format := fs.String("format", "text", "output format: text, csv, json")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
@@ -71,8 +73,13 @@ func run(out, errw io.Writer, args []string) int {
 		fmt.Fprintln(errw, err)
 		return 2
 	}
+	if *tenants < 1 {
+		fmt.Fprintf(errw, "-tenants %d: need at least one tenant class\n", *tenants)
+		return 2
+	}
 	p := harness.Params{Tasks: *tasks, SMMs: *smms, Seed: *seed, Parallel: *parallel,
-		SLOUs: *slo, Nodes: *nodes, Policy: *policy, Schemes: schemes, Oversub: *oversub}
+		SLOUs: *slo, Nodes: *nodes, Policy: *policy, Schemes: schemes, Oversub: *oversub,
+		Tenants: *tenants, Misbehave: *misbehave}
 
 	ids, err := expandExpIDs(*exp)
 	if err != nil {

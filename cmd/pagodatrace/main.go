@@ -14,6 +14,12 @@
 // writes a merged trace with one wait/service track per node
 // ("node00/serve-pagoda", ...). Track order is stable — lexicographic, which
 // is node order — and the printed summary groups by node, then category.
+//
+// With -tenants N > 0 the command switches to tenant mode instead: the
+// open-loop stream is the merge of N tenant classes (premium/standard/batch
+// tiers, one misbehaving at 10x its contract) through the class-aware
+// admission layer, and the trace carries one wait/service track per tenant
+// ("tenant-premium/serve-pagoda", ...) with a per-tenant outcome summary.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"repro/internal/runners"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -54,11 +61,16 @@ func run(w io.Writer, args []string) error {
 	seed := fs.Int64("seed", 1, "workload and arrival-stream seed")
 	nodes := fs.Int("nodes", 0, "cluster mode: fleet size (0 = single-device closed-loop trace)")
 	policy := fs.String("policy", "rr", "cluster mode routing policy: "+fmt.Sprint(cluster.PolicyNames()))
-	scheme := fs.String("scheme", "pagoda", "cluster mode execution scheme: "+strings.Join(runners.SchemeKeys(), ", "))
-	rate := fs.Float64("rate", 64e3, "cluster mode offered arrival rate per node, tasks/s")
+	scheme := fs.String("scheme", "pagoda", "cluster/tenant mode execution scheme: "+strings.Join(runners.SchemeKeys(), ", "))
+	rate := fs.Float64("rate", 64e3, "cluster/tenant mode offered arrival rate (per node / contracted per class), tasks/s")
+	tenants := fs.Int("tenants", 0, "tenant mode: tenant classes (0 = off); one wait/service track per tenant")
+	admit := fs.String("admit", tenancy.AdmitStrict, "tenant mode admission policy: "+strings.Join(tenancy.Kinds(), ", "))
 	out := fs.String("o", "trace.json", "output file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *nodes > 0 && *tenants > 0 {
+		return fmt.Errorf("pagodatrace: -nodes and -tenants are mutually exclusive modes")
 	}
 
 	b, err := workloads.ByName(*benchName)
@@ -69,6 +81,9 @@ func run(w io.Writer, args []string) error {
 
 	if *nodes > 0 {
 		return runCluster(w, defs, *benchName, *smms, *seed, *nodes, *policy, *scheme, *rate, *out)
+	}
+	if *tenants > 0 {
+		return runTenants(w, b, *benchName, *tasks, *threads, *smms, *seed, *tenants, *admit, *scheme, *rate, *out)
 	}
 
 	eng := sim.New()
@@ -121,6 +136,89 @@ func run(w io.Writer, args []string) error {
 	for _, cat := range cats {
 		s := summary[cat]
 		fmt.Fprintf(w, "  %-12s %6d spans, %10.1f us total\n", cat, s.Count, s.Busy/1e3)
+	}
+	return nil
+}
+
+// runTenants runs the multi-tenant open loop on one device and writes a
+// trace with one wait/service track per tenant class, plus a per-tenant
+// outcome summary (served/shed/evicted and span totals).
+func runTenants(w io.Writer, b workloads.Benchmark, benchName string,
+	tasks, threads, smms int, seed int64, tenants int, admit, scheme string, rate float64, out string) error {
+	sc, ok := runners.SchemeByKey(scheme)
+	if !ok {
+		return fmt.Errorf("pagodatrace: unknown scheme %q (valid: %s)", scheme, strings.Join(runners.SchemeKeys(), ", "))
+	}
+	okKind := false
+	for _, k := range tenancy.Kinds() {
+		okKind = okKind || k == admit
+	}
+	if !okKind {
+		return fmt.Errorf("pagodatrace: unknown admission policy %q (valid: %s)", admit, strings.Join(tenancy.Kinds(), ", "))
+	}
+
+	const slo = sim.Time(1000e3) // 1000us premium p99 bound
+	horizon := sim.Time(float64(tasks) / float64(tenants) / rate * 1e9)
+	classes := tenancy.DefaultClasses(tenants, rate, slo, horizon, seed, 1)
+	counts := make([]int, tenants)
+	for c := range counts {
+		counts[c] = tasks / tenants
+		if c < tasks%tenants {
+			counts[c]++
+		}
+	}
+	arrivals, classOf := tenancy.Merge(classes, counts)
+	defs := b.Make(workloads.Options{Tasks: len(arrivals), Threads: threads, Seed: seed})
+	adm := tenancy.NewAdmission(admit, classes, arrivals, classOf, 64, admit != tenancy.AdmitNone)
+
+	cfg := runners.DefaultConfig()
+	cfg.SMMs = smms
+	_, recs := sc.RunOpenLoop(defs, runners.OpenLoop{Arrivals: arrivals, AdmitTask: adm.AdmitTask}, cfg)
+
+	// One wait/service track per tenant, built directly from the records so
+	// each tenant's queueing story reads as its own timeline row.
+	tr := trace.New()
+	tracks := make([]string, tenants)
+	for c, cl := range classes {
+		tracks[c] = fmt.Sprintf("tenant-%s/serve-%s", cl.Name, scheme)
+	}
+	for i, r := range recs {
+		if r.Dropped {
+			continue
+		}
+		tr.Add(trace.Span{Name: trace.SpanName("wait", int64(i)), Cat: "wait",
+			Track: tracks[classOf[i]], Start: r.Submit, End: r.Start})
+		tr.Add(trace.Span{Name: trace.SpanName("service", int64(i)), Cat: "service",
+			Track: tracks[classOf[i]], Start: r.Start, End: r.Done})
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteChromeJSON(f); err != nil {
+		return err
+	}
+
+	st := tenancy.SummarizeClasses(classes, classOf, recs, adm.Outcomes())
+	fmt.Fprintf(w, "ran %d %s tasks for %d tenants (%s admission, %s scheme); wrote %d spans to %s\n",
+		len(recs), benchName, tenants, admit, scheme, tr.Len(), out)
+	byTrack := tr.SummaryByTrack()
+	for c := range classes {
+		s := st[c]
+		fmt.Fprintf(w, "  %s: offered %d, served %d, shed %d, evicted %d, p99 %.1f us\n",
+			tracks[c], s.Offered, s.Completed, s.Shed, s.Evicted, s.P99/1e3)
+		per := byTrack[tracks[c]]
+		cats := make([]string, 0, len(per))
+		for cat := range per {
+			cats = append(cats, cat)
+		}
+		sort.Strings(cats)
+		for _, cat := range cats {
+			sum := per[cat]
+			fmt.Fprintf(w, "    %-10s %6d spans, %10.1f us total\n", cat, sum.Count, sum.Busy/1e3)
+		}
 	}
 	return nil
 }

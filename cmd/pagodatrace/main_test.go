@@ -103,6 +103,64 @@ func TestClusterTraceEverySchemeAccepted(t *testing.T) {
 	}
 }
 
+// TestTenantTraceSmoke drives tenant mode end to end: three tenant classes
+// must write one wait/service track per tenant and print a per-tenant
+// outcome summary with the offered/served/shed split.
+func TestTenantTraceSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "tenants.json")
+	var sb strings.Builder
+	err := run(&sb, []string{"-bench", "XFMR", "-tasks", "96", "-smms", "4",
+		"-tenants", "3", "-admit", "strict", "-scheme", "pagoda", "-rate", "192e3", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"3 tenants", "strict admission",
+		"tenant-premium/serve-pagoda", "tenant-standard/serve-pagoda", "tenant-batch/serve-pagoda",
+		"offered 32"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("tenant trace is not a JSON array: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range events {
+		if e["ph"] == "M" {
+			if args, ok := e["args"].(map[string]any); ok {
+				names[args["name"].(string)] = true
+			}
+		}
+	}
+	for _, want := range []string{"tenant-premium/serve-pagoda", "tenant-standard/serve-pagoda"} {
+		if !names[want] {
+			t.Errorf("trace missing track %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestTenantTraceRejectsBadFlags pins tenant-mode validation: the two stream
+// modes are mutually exclusive and an unknown admission policy fails fast.
+func TestTenantTraceRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	tmp := filepath.Join(t.TempDir(), "t.json")
+	if err := run(&sb, []string{"-nodes", "2", "-tenants", "2", "-o", tmp}); err == nil {
+		t.Error("run accepted -nodes together with -tenants")
+	}
+	if err := run(&sb, []string{"-tenants", "2", "-admit", "nope", "-o", tmp}); err == nil {
+		t.Error("run accepted an unknown admission policy")
+	}
+	if err := run(&sb, []string{"-tenants", "2", "-scheme", "nope", "-o", tmp}); err == nil {
+		t.Error("tenant mode accepted an unknown scheme")
+	}
+}
+
 // TestClusterTraceRejectsUnknownSchemeAndPolicy pins cluster-mode validation.
 func TestClusterTraceRejectsUnknownSchemeAndPolicy(t *testing.T) {
 	var sb strings.Builder

@@ -41,6 +41,7 @@ var simScoped = []string{
 	"internal/workloads",
 	"internal/hostcpu",
 	"internal/cluster",
+	"internal/tenancy",
 }
 
 // inSimScope reports whether relPath is one of the simulation packages (or a

@@ -45,6 +45,15 @@ type Params struct {
 	// (uniform across all four resources); 0 means the scheme default,
 	// 1 means physical admission. Other schemes ignore it.
 	Oversub float64
+
+	// Tenants is the number of tenant classes for tenant_qos; 0 means 3.
+	Tenants int
+
+	// Misbehave selects which tenant class offers 10x its contracted rate
+	// in tenant_qos: 0 (the zero value) means the default — the standard
+	// class, index 1 — a negative value disables misbehavior, and any
+	// other value is the class index itself.
+	Misbehave int
 }
 
 // DefaultParams returns the laptop-scale defaults.
@@ -63,7 +72,22 @@ func (p Params) fill() Params {
 	if p.Policy == "" {
 		p.Policy = "rr"
 	}
+	if p.Tenants <= 0 {
+		p.Tenants = 3
+	}
 	return p
+}
+
+// misbehaveIdx resolves the Misbehave convention to a class index (-1 for
+// an all-honest run).
+func (p Params) misbehaveIdx() int {
+	if p.Misbehave < 0 {
+		return -1
+	}
+	if p.Misbehave == 0 {
+		return 1
+	}
+	return p.Misbehave
 }
 
 func (p Params) runnerCfg() runners.Config {
@@ -101,7 +125,7 @@ func (p Params) gpuSchemes() []runners.Scheme {
 // Experiments lists every regenerable artifact (the paper's tables and
 // figures, the §6.2 CPU-scheme bake-off, and the open-loop serving sweeps).
 func Experiments() []string {
-	return []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table5", "cpuschemes", "serve_latency", "serve_capacity", "cluster_scaling", "cluster_policy"}
+	return []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table5", "cpuschemes", "serve_latency", "serve_capacity", "tenant_qos", "oversub_sweep", "cluster_scaling", "cluster_policy"}
 }
 
 // Run regenerates one experiment by ID.
@@ -131,6 +155,10 @@ func Run(id string, p Params) (*Report, error) {
 		return ServeLatency(p), nil
 	case "serve_capacity":
 		return ServeCapacity(p), nil
+	case "tenant_qos":
+		return TenantQoS(p), nil
+	case "oversub_sweep":
+		return OversubSweep(p), nil
 	case "cluster_scaling":
 		return ClusterScaling(p), nil
 	case "cluster_policy":

@@ -27,6 +27,16 @@ type OpenLoop struct {
 	// return drops the task (serve.Policy.Admit satisfies this signature).
 	Admit func(now sim.Time, inFlight int) bool
 
+	// AdmitTask, when non-nil, takes precedence over Admit and additionally
+	// receives the task's index, so a class-aware layer (internal/tenancy)
+	// can key the decision on which tenant the task belongs to. Runners call
+	// it exactly once per task, at the same presentation point where Admit
+	// would run; under Pagoda's multi-spawner host path calls are NOT
+	// guaranteed to arrive in task-index order, only at nondecreasing
+	// per-spawner instants — implementations must key on the index argument,
+	// never on call order.
+	AdmitTask func(ti int, now sim.Time, inFlight int) bool
+
 	// Trace, when enabled, receives two spans per completed task — cat
 	// "wait" (submit to service start) and "service" (start to done) — on a
 	// per-scheme track, the open-loop latency decomposition in profiler form.
@@ -44,7 +54,10 @@ func (ol OpenLoop) validate(n int) {
 	}
 }
 
-func (ol OpenLoop) admit(now sim.Time, inFlight int) bool {
+func (ol OpenLoop) admit(ti int, now sim.Time, inFlight int) bool {
+	if ol.AdmitTask != nil {
+		return ol.AdmitTask(ti, now, inFlight)
+	}
 	return ol.Admit == nil || ol.Admit(now, inFlight)
 }
 
@@ -154,7 +167,7 @@ func RunPagodaOpenLoop(tasks []workloads.TaskDef, ol OpenLoop, cfg Config) (Resu
 			for _, ti := range parts[s] {
 				td := &tasks[ti]
 				recs[ti].Submit = waitUntil(p, ol.Arrivals[ti])
-				if !ol.admit(p.Now(), admitted-completed) {
+				if !ol.admit(ti, p.Now(), admitted-completed) {
 					recs[ti].Dropped = true
 					continue
 				}
@@ -237,7 +250,7 @@ func runKernelPerTaskOpenLoop(tasks []workloads.TaskDef, ol OpenLoop, cfg Config
 			ti := ti
 			td := &tasks[ti]
 			recs[ti].Submit = waitUntil(p, ol.Arrivals[ti])
-			if !ol.admit(p.Now(), admitted-completed) {
+			if !ol.admit(ti, p.Now(), admitted-completed) {
 				recs[ti].Dropped = true
 				continue
 			}
@@ -321,7 +334,7 @@ func RunGeMTCOpenLoop(tasks []workloads.TaskDef, ol OpenLoop, cfg Config) (Resul
 	sys.eng.Spawn("ol-gemtc-submit", func(p *sim.Proc) {
 		for ti := range tasks {
 			recs[ti].Submit = waitUntil(p, ol.Arrivals[ti])
-			if !ol.admit(p.Now(), admitted-completed) {
+			if !ol.admit(ti, p.Now(), admitted-completed) {
 				recs[ti].Dropped = true
 				continue
 			}

@@ -45,6 +45,15 @@ const (
 	// 3DES: cycles per 8-byte block (T-table style implementation).
 	desCyclesPerBlock    = 260.0
 	desCPUCyclesPerBlock = 480.0
+
+	// Transformer layer (XFMR) and GEMM chain (GEMM): the attention and
+	// feed-forward projections run on the same multiply-add engine as MM, so
+	// they share its per-MAC cost; softmax pays a transcendental (exp) plus a
+	// running max/sum per score element, which vectorizes poorly on the CPU.
+	xfmrCyclesPerMAC        = 1.1
+	xfmrCPUCyclesPerMAC     = 1.1
+	softmaxCyclesPerElem    = 12.0
+	softmaxCPUCyclesPerElem = 16.0
 )
 
 // segmentCycles is the compute run length between consecutive global memory

@@ -119,13 +119,28 @@ func All() []Benchmark {
 	}
 }
 
+// ML returns the ML inference microkernels (transformer layer and GEMM
+// chain). They are listed separately from All() — which stays the paper's
+// Table 3 set — and are reachable through ByName like every other benchmark.
+func ML() []Benchmark {
+	return []Benchmark{
+		TransformerLayer(),
+		GEMMChain(),
+	}
+}
+
 // ByName looks a benchmark up by its Table 3 abbreviation (MB, FB, BF, CONV,
-// DCT, MM, SLUD, 3DES) or MPE.
+// DCT, MM, SLUD, 3DES), MPE, or an ML microkernel name (XFMR, GEMM).
 func ByName(name string) (Benchmark, error) {
 	if name == "MPE" {
 		return MPEBench(), nil
 	}
 	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	for _, b := range ML() {
 		if b.Name == name {
 			return b, nil
 		}
