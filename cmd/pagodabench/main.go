@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/harness"
 	"repro/internal/runners"
@@ -46,6 +47,9 @@ func run(out, errw io.Writer, args []string) int {
 	parallel := fs.Int("parallel", 0, "experiment cells run concurrently (0 = all CPUs, 1 = sequential)")
 	slo := fs.Float64("slo", 1000, "p99 latency SLO for the serve_* and cluster_* experiments, microseconds")
 	nodes := fs.Int("nodes", 4, "fleet size for the cluster_* experiments")
+	minNodes := fs.Int("minnodes", 2, "cluster_autoscale lower fleet bound")
+	maxNodes := fs.Int("maxnodes", 8, "cluster_autoscale upper fleet bound (equal to -minnodes disables scaling)")
+	autoPol := fs.String("autoscale", "", "cluster_autoscale scaling policy (default all): "+strings.Join(autoscale.PolicyNames(), ", "))
 	policy := fs.String("policy", "rr", "cluster routing policy: "+strings.Join(cluster.PolicyNames(), ", "))
 	scheme := fs.String("scheme", "", "GPU scheme(s) the serve_*/cluster_* experiments sweep, comma-separated (default all): "+strings.Join(runners.SchemeKeys(), ", "))
 	oversub := fs.Float64("oversub", 0, "zorua oversubscription factor (0 = scheme default 1.5, 1 = physical admission)")
@@ -68,6 +72,28 @@ func run(out, errw io.Writer, args []string) int {
 		fmt.Fprintln(errw, err)
 		return 2
 	}
+	if *nodes < 1 {
+		fmt.Fprintf(errw, "-nodes %d: a cluster needs at least one node\n", *nodes)
+		return 2
+	}
+	if *oversub != 0 && *oversub < 1.0 {
+		fmt.Fprintf(errw, "-oversub %g: factor below 1.0 would under-provision physical resources (use 1 for physical admission, 0 for the scheme default)\n", *oversub)
+		return 2
+	}
+	if *minNodes < 1 {
+		fmt.Fprintf(errw, "-minnodes %d: the elastic fleet's lower bound must be at least one node\n", *minNodes)
+		return 2
+	}
+	if *minNodes > *maxNodes {
+		fmt.Fprintf(errw, "-minnodes %d exceeds -maxnodes %d: the elastic fleet bounds are inverted\n", *minNodes, *maxNodes)
+		return 2
+	}
+	if *autoPol != "" {
+		if _, err := autoscale.NewPolicy(*autoPol, autoscale.DefaultTuning()); err != nil {
+			fmt.Fprintf(errw, "-autoscale %q: %s\n", *autoPol, err)
+			return 2
+		}
+	}
 	schemes, err := expandSchemes(*scheme)
 	if err != nil {
 		fmt.Fprintln(errw, err)
@@ -79,7 +105,8 @@ func run(out, errw io.Writer, args []string) int {
 	}
 	p := harness.Params{Tasks: *tasks, SMMs: *smms, Seed: *seed, Parallel: *parallel,
 		SLOUs: *slo, Nodes: *nodes, Policy: *policy, Schemes: schemes, Oversub: *oversub,
-		Tenants: *tenants, Misbehave: *misbehave}
+		Tenants: *tenants, Misbehave: *misbehave,
+		MinNodes: *minNodes, MaxNodes: *maxNodes, Autoscale: *autoPol}
 
 	ids, err := expandExpIDs(*exp)
 	if err != nil {

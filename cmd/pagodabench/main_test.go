@@ -311,3 +311,58 @@ func TestSchemeFilterRestrictsSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestRejectsBadFleetFlags pins the flag-validation satellite: impossible
+// fleet shapes fail before any simulation runs, exit 2, with a message that
+// names the offending value.
+func TestRejectsBadFleetFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"nodes zero", []string{"-exp", "cluster_policy", "-nodes", "0"}, "at least one node"},
+		{"nodes negative", []string{"-exp", "cluster_policy", "-nodes", "-3"}, "at least one node"},
+		{"oversub below one", []string{"-exp", "oversub_sweep", "-oversub", "0.5"}, "under-provision"},
+		{"minnodes zero", []string{"-exp", "cluster_autoscale", "-minnodes", "0"}, "lower bound"},
+		{"inverted bounds", []string{"-exp", "cluster_autoscale", "-minnodes", "8", "-maxnodes", "2"}, "inverted"},
+		{"unknown autoscale policy", []string{"-exp", "cluster_autoscale", "-autoscale", "bogus"}, "reactive"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errw strings.Builder
+			if code := run(&out, &errw, c.args); code != 2 {
+				t.Fatalf("run(%v) = %d, want 2 (stderr %q)", c.args, code, errw.String())
+			}
+			if !strings.Contains(errw.String(), c.want) {
+				t.Errorf("stderr = %q, want mention of %q", errw.String(), c.want)
+			}
+		})
+	}
+	// The boundary values stay legal: -oversub 1 is physical admission and
+	// -minnodes equal to -maxnodes is a fixed fleet.
+	var out, errw strings.Builder
+	code := run(&out, &errw, []string{"-exp", "cluster_autoscale", "-tasks", "48", "-smms", "4",
+		"-minnodes", "2", "-maxnodes", "2", "-scheme", "gemtc", "-autoscale", "reactive", "-format", "csv"})
+	if code != 0 {
+		t.Fatalf("run(minnodes=maxnodes) = %d, stderr %q", code, errw.String())
+	}
+}
+
+// TestAutoscaleFlagsReachExperiment drives -minnodes/-maxnodes/-autoscale end
+// to end: the report header names the bounds and only the chosen policy runs.
+func TestAutoscaleFlagsReachExperiment(t *testing.T) {
+	var out, errw strings.Builder
+	code := run(&out, &errw, []string{"-exp", "cluster_autoscale", "-tasks", "48", "-smms", "4",
+		"-minnodes", "1", "-maxnodes", "3", "-autoscale", "predictive", "-scheme", "hyperq", "-format", "csv"})
+	if code != 0 {
+		t.Fatalf("run(cluster_autoscale) = %d, stderr %q", code, errw.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "predictive") {
+		t.Errorf("filtered run missing the predictive policy:\n%s", got)
+	}
+	if strings.Contains(got, "reactive") {
+		t.Errorf("-autoscale predictive still ran reactive:\n%s", got)
+	}
+}

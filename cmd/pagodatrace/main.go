@@ -20,6 +20,12 @@
 // tiers, one misbehaving at 10x its contract) through the class-aware
 // admission layer, and the trace carries one wait/service track per tenant
 // ("tenant-premium/serve-pagoda", ...) with a per-tenant outcome summary.
+//
+// With -autoscale <policy> the fleet is elastic instead of fixed: a diurnal
+// arrival wave drives the named scaling policy between -minnodes and
+// -maxnodes, and the trace gains a "fleet/scale" track whose warmup, active
+// and drain spans show each node's lifecycle alongside the per-node serve
+// tracks. Mutually exclusive with -tenants.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cuda"
@@ -60,6 +67,9 @@ func run(w io.Writer, args []string) error {
 	smms := fs.Int("smms", 8, "simulated SMMs")
 	seed := fs.Int64("seed", 1, "workload and arrival-stream seed")
 	nodes := fs.Int("nodes", 0, "cluster mode: fleet size (0 = single-device closed-loop trace)")
+	autoPol := fs.String("autoscale", "", "elastic cluster mode: scaling policy (empty = fixed fleet): "+strings.Join(autoscale.PolicyNames(), ", "))
+	minNodes := fs.Int("minnodes", 2, "elastic mode lower fleet bound")
+	maxNodes := fs.Int("maxnodes", 8, "elastic mode upper fleet bound")
 	policy := fs.String("policy", "rr", "cluster mode routing policy: "+fmt.Sprint(cluster.PolicyNames()))
 	scheme := fs.String("scheme", "pagoda", "cluster/tenant mode execution scheme: "+strings.Join(runners.SchemeKeys(), ", "))
 	rate := fs.Float64("rate", 64e3, "cluster/tenant mode offered arrival rate (per node / contracted per class), tasks/s")
@@ -72,6 +82,12 @@ func run(w io.Writer, args []string) error {
 	if *nodes > 0 && *tenants > 0 {
 		return fmt.Errorf("pagodatrace: -nodes and -tenants are mutually exclusive modes")
 	}
+	if *autoPol != "" && *tenants > 0 {
+		return fmt.Errorf("pagodatrace: -autoscale and -tenants are mutually exclusive modes")
+	}
+	if *minNodes < 1 || *minNodes > *maxNodes {
+		return fmt.Errorf("pagodatrace: fleet bounds %d..%d are not a valid range", *minNodes, *maxNodes)
+	}
 
 	b, err := workloads.ByName(*benchName)
 	if err != nil {
@@ -79,6 +95,9 @@ func run(w io.Writer, args []string) error {
 	}
 	defs := b.Make(workloads.Options{Tasks: *tasks, Threads: *threads, Seed: *seed})
 
+	if *autoPol != "" {
+		return runAutoscale(w, defs, *benchName, *smms, *seed, *minNodes, *maxNodes, *autoPol, *policy, *scheme, *rate, *out)
+	}
 	if *nodes > 0 {
 		return runCluster(w, defs, *benchName, *smms, *seed, *nodes, *policy, *scheme, *rate, *out)
 	}
@@ -219,6 +238,91 @@ func runTenants(w io.Writer, b workloads.Benchmark, benchName string,
 			sum := per[cat]
 			fmt.Fprintf(w, "    %-10s %6d spans, %10.1f us total\n", cat, sum.Count, sum.Busy/1e3)
 		}
+	}
+	return nil
+}
+
+// runAutoscale runs an elastic fleet under a diurnal arrival wave and writes
+// the merged trace: the usual per-node serve tracks plus a "fleet/scale"
+// track carrying each node's warmup/active/drain lifecycle spans, so the
+// timeline shows capacity following load.
+func runAutoscale(w io.Writer, defs []workloads.TaskDef, benchName string,
+	smms int, seed int64, minN, maxN int, autoPol, policy, scheme string, rate float64, out string) error {
+	mk, err := cluster.NewPolicy(policy, seed)
+	if err != nil {
+		return err
+	}
+	sc, ok := runners.SchemeByKey(scheme)
+	if !ok {
+		return fmt.Errorf("pagodatrace: unknown scheme %q (valid: %s)", scheme, strings.Join(runners.SchemeKeys(), ", "))
+	}
+	tu := autoscale.DefaultTuning()
+	tu.PerNodeRate = rate
+	mkPol, err := autoscale.NewPolicy(autoPol, tu)
+	if err != nil {
+		return fmt.Errorf("pagodatrace: %v (valid: %s)", err, strings.Join(autoscale.PolicyNames(), ", "))
+	}
+	cfg := runners.DefaultConfig()
+	cfg.SMMs = smms
+
+	// A diurnal wave whose mean sits mid-band, with a short control loop and
+	// warm-up so even small -tasks runs show scale events on the timeline.
+	tr := trace.New()
+	mean := rate * float64(minN+maxN) / 2
+	co := runners.ClusterOpenLoop{
+		Arrivals: serve.Diurnal{MeanRate: mean, Swing: 0.8, Period: 400_000, Seed: seed}.Times(len(defs)),
+		Policy:   mk(),
+		Scaler: &autoscale.Config{Min: minN, Max: maxN, Policy: mkPol,
+			Interval: 50_000, Warmup: 200_000, Cooldown: 100_000},
+		Trace: tr,
+	}
+	res, cr := sc.RunCluster(defs, co, cfg)
+	if err := cr.CheckConservation(); err != nil {
+		return err
+	}
+
+	// Lifecycle spans: one "fleet/scale" track, one span per phase per node.
+	// A node canceled during warm-up (ActiveAt 0 despite a post-start
+	// provision) reads as warmup for its whole open extent, then drain; the
+	// initial nodes are active from t=0 with no warm-up.
+	for i, sp := range cr.Scale.Nodes {
+		activeFrom := sp.ActiveAt
+		if sp.ActiveAt == 0 && sp.ProvisionedAt > 0 {
+			activeFrom = sp.ClosedAt // never promoted
+		}
+		if activeFrom > sp.ProvisionedAt {
+			tr.Add(trace.Span{Name: trace.SpanName("warmup", int64(i)), Cat: "warmup",
+				Track: "fleet/scale", Start: sp.ProvisionedAt, End: activeFrom})
+		}
+		if sp.ClosedAt > activeFrom {
+			tr.Add(trace.Span{Name: trace.SpanName("active", int64(i)), Cat: "active",
+				Track: "fleet/scale", Start: activeFrom, End: sp.ClosedAt})
+		}
+		if sp.RetiredAt > sp.ClosedAt {
+			tr.Add(trace.Span{Name: trace.SpanName("drain", int64(i)), Cat: "drain",
+				Track: "fleet/scale", Start: sp.ClosedAt, End: sp.RetiredAt})
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteChromeJSON(f); err != nil {
+		return err
+	}
+
+	o := cr.Scale
+	fmt.Fprintf(w, "ran %d %s tasks on an elastic %d..%d %s fleet (%s scaling, policy %s) in %.2f ms simulated; wrote %d spans to %s\n",
+		len(defs), benchName, minN, maxN, scheme, autoPol, policy, res.Elapsed/1e6, tr.Len(), out)
+	fmt.Fprintf(w, "  fleet/scale: %d scale-outs, %d scale-ins, peak %d nodes, %.4f node-seconds\n",
+		o.ScaleOuts, o.ScaleIns, o.Peak, o.NodeSeconds())
+	for i, track := range cr.Names {
+		v := cr.Views[i]
+		sp := o.Nodes[i]
+		fmt.Fprintf(w, "  %s: routed %d, done %d, dropped %d (provisioned %.1f us, retired %.1f us)\n",
+			track, v.Routed, v.Done, v.Dropped, sp.ProvisionedAt/1e3, sp.RetiredAt/1e3)
 	}
 	return nil
 }

@@ -172,3 +172,70 @@ func TestClusterTraceRejectsUnknownSchemeAndPolicy(t *testing.T) {
 		t.Error("run accepted an unknown policy")
 	}
 }
+
+// TestAutoscaleTraceSmoke drives elastic mode end to end: the written trace
+// must carry the per-node serve tracks plus a "fleet/scale" track whose
+// warmup/active/drain spans show each node's lifecycle, and the summary must
+// report the scale-event and node-seconds ledger.
+func TestAutoscaleTraceSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "elastic.json")
+	var sb strings.Builder
+	err := run(&sb, []string{"-bench", "MB", "-tasks", "128", "-smms", "4",
+		"-autoscale", "reactive", "-minnodes", "1", "-maxnodes", "4", "-scheme", "pagoda", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"elastic 1..4 pagoda fleet", "reactive scaling",
+		"fleet/scale:", "scale-outs", "node-seconds", "node00/serve-pagoda"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("elastic trace is not a JSON array: %v", err)
+	}
+	cats := map[string]int{}
+	tracks := map[string]bool{}
+	for _, e := range events {
+		if c, ok := e["cat"].(string); ok {
+			cats[c]++
+		}
+		if e["ph"] == "M" {
+			if args, ok := e["args"].(map[string]any); ok {
+				tracks[args["name"].(string)] = true
+			}
+		}
+	}
+	if !tracks["fleet/scale"] {
+		t.Errorf("trace missing the fleet/scale track (have %v)", tracks)
+	}
+	if cats["active"] == 0 {
+		t.Errorf("fleet/scale track has no active spans: %v", cats)
+	}
+	if cats["warmup"] == 0 {
+		t.Errorf("no warm-up span despite a 1..4 elastic run: %v", cats)
+	}
+}
+
+// TestAutoscaleTraceRejectsBadFlags pins elastic-mode validation: -autoscale
+// is exclusive with -tenants, bounds must form a range, and unknown scaling
+// policies fail fast.
+func TestAutoscaleTraceRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	tmp := filepath.Join(t.TempDir(), "t.json")
+	if err := run(&sb, []string{"-autoscale", "reactive", "-tenants", "2", "-o", tmp}); err == nil {
+		t.Error("run accepted -autoscale together with -tenants")
+	}
+	if err := run(&sb, []string{"-autoscale", "reactive", "-minnodes", "5", "-maxnodes", "2", "-o", tmp}); err == nil {
+		t.Error("run accepted inverted fleet bounds")
+	}
+	if err := run(&sb, []string{"-autoscale", "nope", "-o", tmp}); err == nil {
+		t.Error("run accepted an unknown scaling policy")
+	}
+}

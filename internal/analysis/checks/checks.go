@@ -42,6 +42,7 @@ var simScoped = []string{
 	"internal/hostcpu",
 	"internal/cluster",
 	"internal/tenancy",
+	"internal/autoscale",
 }
 
 // inSimScope reports whether relPath is one of the simulation packages (or a

@@ -72,8 +72,8 @@ func TestTaintflowBeyondSyntacticChecks(t *testing.T) {
 }
 
 // TestScopes pins which packages each analyzer binds to: the wall-clock,
-// RNG and map-order rules cover the ten simulation packages (including
-// internal/cluster and internal/tenancy); rawgo and goroutine cover everything except
+// RNG and map-order rules cover the eleven simulation packages (including
+// internal/cluster, internal/tenancy and internal/autoscale); rawgo and goroutine cover everything except
 // internal/sim; syncprim covers the simulation packages minus internal/sim
 // itself.
 func TestScopes(t *testing.T) {
@@ -88,6 +88,7 @@ func TestScopes(t *testing.T) {
 		{"internal/runners", true, true, true, true, true, true, true},
 		{"internal/cluster", true, true, true, true, true, true, true},
 		{"internal/tenancy", true, true, true, true, true, true, true},
+		{"internal/autoscale", true, true, true, true, true, true, true},
 		{"internal/serve", false, false, false, true, true, false, true},
 		{"internal/harness", false, false, false, true, true, false, true},
 		{"internal/trace", false, false, false, true, true, false, true},

@@ -48,6 +48,108 @@ func (d Dispatcher) Validate(n int) {
 	}
 }
 
+// A Fleet is a mutable node set — the elastic counterpart of the fixed
+// Nodes slice. internal/autoscale provides the implementation; the
+// dispatcher only ever sees the dispatchable subset.
+type Fleet interface {
+	// Snapshot returns the currently dispatchable nodes together with each
+	// node's stable fleet-wide id (for per-node record attribution), in id
+	// order. The slices may be reused across calls; callers consume them
+	// before yielding the engine baton.
+	Snapshot() ([]Node, []int)
+
+	// CloseAll signals that no further Submit calls will come anywhere:
+	// every remaining node drains and the fleet stops scaling.
+	CloseAll()
+}
+
+// ElasticDispatcher routes an open-loop arrival stream over a mutable Fleet:
+// the node set is re-snapshotted at every arrival instant, so tasks flow to
+// nodes that finished warming and away from nodes that began draining
+// without any coordination beyond the shared virtual clock. Routing and
+// record-keeping match Dispatcher exactly — a Fleet whose snapshot never
+// changes dispatches bit-identically to the fixed-slice path.
+type ElasticDispatcher struct {
+	// Arrivals holds one nondecreasing virtual-cycle instant per task.
+	Arrivals []sim.Time
+
+	// Classes optionally gives each task a workload class for
+	// class-affine policies; nil means every task is class 0.
+	Classes []int
+
+	// Policy picks among the snapshot's nodes per arrival; nil means
+	// round-robin. The policy sees only the dispatchable subset, in
+	// id order, exactly as the fixed dispatcher shows its full slice.
+	Policy Policy
+
+	// Fleet supplies the dispatchable node set per arrival.
+	Fleet Fleet
+}
+
+// Validate panics on a malformed elastic dispatcher: arrival count
+// mismatch, decreasing arrivals, a Classes slice of the wrong length, a
+// missing fleet, or a fleet with nothing dispatchable at start.
+func (d ElasticDispatcher) Validate(n int) {
+	if d.Fleet == nil {
+		panic("cluster: elastic dispatcher with no fleet")
+	}
+	if nodes, _ := d.Fleet.Snapshot(); len(nodes) == 0 {
+		panic("cluster: elastic dispatcher fleet has no dispatchable nodes")
+	}
+	if len(d.Arrivals) != n {
+		panic(fmt.Sprintf("cluster: %d arrivals for %d tasks", len(d.Arrivals), n))
+	}
+	if d.Classes != nil && len(d.Classes) != n {
+		panic(fmt.Sprintf("cluster: %d classes for %d tasks", len(d.Classes), n))
+	}
+	for i := 1; i < n; i++ {
+		if d.Arrivals[i] < d.Arrivals[i-1] {
+			panic(fmt.Sprintf("cluster: arrivals decrease at %d: %v < %v", i, d.Arrivals[i], d.Arrivals[i-1]))
+		}
+	}
+}
+
+// Spawn installs the elastic dispatcher as a front-end process on eng. For
+// each task it writes the Submit instant into recs[ti] and the chosen node's
+// stable fleet id into nodeOf[ti]. After the last arrival it closes the
+// whole fleet so every node drains. The policy's pick indexes the snapshot;
+// nodeOf records the underlying fleet id, which survives scale events.
+func (d ElasticDispatcher) Spawn(eng *sim.Engine, recs []serve.Record, nodeOf []int) {
+	d.Validate(len(recs))
+	if len(nodeOf) != len(recs) {
+		panic(fmt.Sprintf("cluster: %d node slots for %d records", len(nodeOf), len(recs)))
+	}
+	pol := d.Policy
+	if pol == nil {
+		pol = NewRoundRobin()
+	}
+	eng.Spawn("dispatcher", func(p *sim.Proc) {
+		var views []NodeView
+		for ti := range d.Arrivals {
+			recs[ti].Submit = WaitUntil(p, d.Arrivals[ti])
+			nodes, ids := d.Fleet.Snapshot()
+			if len(nodes) == 0 {
+				panic(fmt.Sprintf("cluster: fleet has no dispatchable nodes at task %d", ti))
+			}
+			views = views[:0]
+			for _, nd := range nodes {
+				views = append(views, nd.View())
+			}
+			t := Task{Index: ti}
+			if d.Classes != nil {
+				t.Class = d.Classes[ti]
+			}
+			n := pol.Pick(p.Now(), t, views)
+			if n < 0 || n >= len(nodes) {
+				panic(fmt.Sprintf("cluster: policy %s picked node %d of %d", pol.Name(), n, len(nodes)))
+			}
+			nodeOf[ti] = ids[n]
+			nodes[n].Submit(p, ti)
+		}
+		d.Fleet.CloseAll()
+	})
+}
+
 // Spawn installs the dispatcher as a front-end process on eng. For each task
 // it writes the Submit instant into recs[ti] and the chosen node index into
 // nodeOf[ti]; Start/Done/Dropped are the owning node's to fill. After the

@@ -49,6 +49,16 @@ type Params struct {
 	// Tenants is the number of tenant classes for tenant_qos; 0 means 3.
 	Tenants int
 
+	// MinNodes and MaxNodes bound the elastic fleet in cluster_autoscale
+	// (0 means 2 and 8). The trace-replay section pins its own bounds so
+	// the node-seconds headline stays comparable across invocations.
+	MinNodes int
+	MaxNodes int
+
+	// Autoscale restricts cluster_autoscale to one scaling policy (see
+	// autoscale.PolicyNames); empty sweeps all of them.
+	Autoscale string
+
 	// Misbehave selects which tenant class offers 10x its contracted rate
 	// in tenant_qos: 0 (the zero value) means the default — the standard
 	// class, index 1 — a negative value disables misbehavior, and any
@@ -74,6 +84,12 @@ func (p Params) fill() Params {
 	}
 	if p.Tenants <= 0 {
 		p.Tenants = 3
+	}
+	if p.MinNodes <= 0 {
+		p.MinNodes = 2
+	}
+	if p.MaxNodes <= 0 {
+		p.MaxNodes = 8
 	}
 	return p
 }
@@ -125,7 +141,7 @@ func (p Params) gpuSchemes() []runners.Scheme {
 // Experiments lists every regenerable artifact (the paper's tables and
 // figures, the §6.2 CPU-scheme bake-off, and the open-loop serving sweeps).
 func Experiments() []string {
-	return []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table5", "cpuschemes", "serve_latency", "serve_capacity", "tenant_qos", "oversub_sweep", "cluster_scaling", "cluster_policy"}
+	return []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table5", "cpuschemes", "serve_latency", "serve_capacity", "tenant_qos", "oversub_sweep", "cluster_scaling", "cluster_policy", "cluster_autoscale"}
 }
 
 // Run regenerates one experiment by ID.
@@ -163,6 +179,8 @@ func Run(id string, p Params) (*Report, error) {
 		return ClusterScaling(p), nil
 	case "cluster_policy":
 		return ClusterPolicy(p), nil
+	case "cluster_autoscale":
+		return ClusterAutoscale(p), nil
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
 	}

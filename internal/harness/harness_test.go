@@ -51,8 +51,8 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestExperimentsListMatchesRun(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 16 {
-		t.Fatalf("Experiments() = %v, want 16 artifacts", ids)
+	if len(ids) != 17 {
+		t.Fatalf("Experiments() = %v, want 17 artifacts", ids)
 	}
 }
 

@@ -3,6 +3,7 @@ package runners
 import (
 	"fmt"
 
+	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cuda"
@@ -42,10 +43,38 @@ type ClusterOpenLoop struct {
 	// node matters for stateful policies like the token bucket.
 	Admit func() func(now sim.Time, inFlight int) bool
 
+	// AdmitTask, when non-nil, takes precedence over Admit on every node:
+	// one fleet-wide class-aware admission layer (internal/tenancy) shared
+	// by all nodes, so per-class contracts and token buckets police the
+	// fleet's aggregate intake rather than N independent copies. Nodes call
+	// it at their own presentation point with node-local inFlight, exactly
+	// where they would consult Admit.
+	AdmitTask func(ti int, now sim.Time, inFlight int) bool
+
+	// Scaler, when it asks for elasticity (Max > Min), replaces the fixed
+	// Nodes fleet with an autoscale.Fleet: nodes warm up, drain and retire
+	// under the configured scaling policy and the run reports an
+	// autoscale.Outcome in ClusterRun.Scale. A disabled scaler (nil, or
+	// Min == Max) normalizes to the fixed-fleet path — bit-identical to
+	// pre-autoscale cluster runs, pinned by test.
+	Scaler *autoscale.Config
+
 	// Trace, when enabled, receives each completed task's wait/service spans
 	// on a per-node track ("node00/serve-pagoda", ...). Track names are
 	// zero-padded so lexicographic track ordering is node ordering.
 	Trace *trace.Tracer
+}
+
+// normalize folds a disabled scaler into the fixed-fleet shape: Min == Max
+// means a fleet that can never scale, which is exactly Nodes = Min on the
+// original dispatcher — the delegation that makes "autoscaling off"
+// reproduce fixed-fleet records bit for bit.
+func (co ClusterOpenLoop) normalize() ClusterOpenLoop {
+	if co.Scaler != nil && !co.Scaler.Enabled() {
+		co.Nodes = co.Scaler.Min
+		co.Scaler = nil
+	}
+	return co
 }
 
 func (co ClusterOpenLoop) nodes() int {
@@ -70,6 +99,10 @@ type ClusterRun struct {
 	NodeOf []int              // node index per task
 	Views  []cluster.NodeView // final per-node counters
 	Names  []string           // per-node track/display names
+
+	// Scale is the autoscaler's outcome — scale events, node lifecycle
+	// spans and the node-seconds cost ledger. Nil for fixed-fleet runs.
+	Scale *autoscale.Outcome
 }
 
 // CheckConservation verifies submitted = done + dropped per node and
@@ -114,12 +147,80 @@ func addClusterServeSpans(tr *trace.Tracer, track string, recs []serve.Record, n
 	}
 }
 
+// elasticNode is the contract a scheme-backed node offers the shared elastic
+// fleet engine beyond cluster.Node: access to the embedded ledger base (for
+// hooking admission and completion) and its device metrics at the run's end.
+type elasticNode interface {
+	cluster.Node
+	base() *nodeBase
+	devMetrics(end sim.Time) (occupancy, issueUtil float64)
+}
+
+// runElasticCluster is the shared elastic fleet engine behind every scheme's
+// autoscaled cluster path: an autoscale.Fleet manages nodes built on demand
+// by mk, an ElasticDispatcher routes each arrival over the currently
+// dispatchable subset, and a controller process steps the lifecycle (warm-up
+// promotion, drain retirement, scale decisions) at the scaler's interval.
+// Scale-out provisions a node whose engine processes spawn mid-run — legal
+// on the event engine, same mechanism as HyperQ's waiter procs — and
+// scale-in reuses Node.Close, so draining is the scheme's own drain path.
+func runElasticCluster(tasks []workloads.TaskDef, co ClusterOpenLoop, cfg Config,
+	scheme string, mk func(eng *sim.Engine, name string, recs []serve.Record) elasticNode) (Result, ClusterRun) {
+	eng := sim.New()
+	recs := make([]serve.Record, len(tasks))
+	var elastics []elasticNode
+	var fleet *autoscale.Fleet
+	fleet, err := autoscale.NewFleet(eng, *co.Scaler, func(id int) cluster.Node {
+		n := mk(eng, fmt.Sprintf("node%02d", id), recs)
+		b := n.base()
+		b.admitTask = co.AdmitTask
+		// Completions feed the scaler's rolling-p99 signal; recs[ti] is fully
+		// stamped before noteDone fires (the noteDone contract).
+		b.onDone = func(ti int) { fleet.NoteLatency(recs[ti].Done - recs[ti].Submit) }
+		elastics = append(elastics, n)
+		return n
+	})
+	if err != nil {
+		panic(fmt.Sprintf("runners: %v", err))
+	}
+	eng.Spawn("autoscaler", func(p *sim.Proc) {
+		for !fleet.Closed() {
+			p.Sleep(fleet.Interval())
+			fleet.Step(p.Now())
+		}
+	})
+	nodeOf := make([]int, len(tasks))
+	cluster.ElasticDispatcher{Arrivals: co.Arrivals, Classes: co.Classes, Policy: co.Policy, Fleet: fleet}.
+		Spawn(eng, recs, nodeOf)
+	end := eng.Run()
+	fleet.Finish(end)
+
+	res := openLoopResult(end, recs)
+	cr := ClusterRun{Recs: recs, NodeOf: nodeOf, Views: fleet.Views(),
+		Names: make([]string, len(elastics))}
+	var occ, iu float64
+	for i, n := range elastics {
+		cr.Names[i] = nodeTrack(i, scheme)
+		o, u := n.devMetrics(end)
+		occ += o
+		iu += u
+		addClusterServeSpans(co.Trace, cr.Names[i], recs, nodeOf, i)
+	}
+	res.Occupancy = occ / float64(len(elastics))
+	res.IssueUtil = iu / float64(len(elastics))
+	out := fleet.Outcome()
+	cr.Scale = &out
+	return res, cr
+}
+
 // nodeBase carries the accounting and admission state every backend shares.
 // All fields are touched only under the engine baton.
 type nodeBase struct {
 	name      string
 	view      cluster.NodeView
 	admit     func(sim.Time, int) bool
+	admitTask func(int, sim.Time, int) bool // fleet-wide, takes precedence
+	onDone    func(ti int)                  // completion hook (elastic fleets)
 	admitted  int
 	completed int
 	closed    bool
@@ -127,8 +228,25 @@ type nodeBase struct {
 
 func (n *nodeBase) Name() string           { return n.name }
 func (n *nodeBase) View() cluster.NodeView { return n.view }
-func (n *nodeBase) admitNow(t sim.Time) bool {
+func (n *nodeBase) base() *nodeBase        { return n }
+
+// admitNow consults the fleet-wide task-aware layer first, then the node's
+// own policy — the same precedence OpenLoop.admit applies on one device.
+func (n *nodeBase) admitNow(ti int, t sim.Time) bool {
+	if n.admitTask != nil {
+		return n.admitTask(ti, t, n.admitted-n.completed)
+	}
 	return n.admit == nil || n.admit(t, n.admitted-n.completed)
+}
+
+// noteDone records one task completion in the ledger; the scheme backend
+// must have stamped recs[ti].Done first, so the hook sees final records.
+func (n *nodeBase) noteDone(ti int) {
+	n.completed++
+	n.view.Done++
+	if n.onDone != nil {
+		n.onDone(ti)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -176,8 +294,7 @@ func newPagodaNode(eng *sim.Engine, name string, tasks []workloads.TaskDef,
 		delete(n.idxOf, id)
 		n.recs[ti].Start = sched
 		n.recs[ti].Done = end
-		n.completed++
-		n.view.Done++
+		n.noteDone(ti)
 	}
 
 	if cfg.CopyData {
@@ -238,7 +355,7 @@ func (n *pagodaNode) feed(p *sim.Proc, f int) {
 		ti := n.queues[f][0]
 		n.queues[f] = n.queues[f][1:]
 		td := &n.tasks[ti]
-		if !n.admitNow(p.Now()) {
+		if !n.admitNow(ti, p.Now()) {
 			n.recs[ti].Dropped = true
 			n.view.Dropped++
 			continue
@@ -274,16 +391,28 @@ func (n *pagodaNode) feed(p *sim.Proc, f int) {
 	n.rt.Shutdown(p)
 }
 
+func (n *pagodaNode) devMetrics(end sim.Time) (float64, float64) {
+	return n.rt.TaskWarpOccupancy(end), n.sys.dev.Metrics().IssueUtil
+}
+
 // RunPagodaCluster executes timed arrivals on a Pagoda fleet. Per-task Start
 // is the instant the owning node's scheduler warp picked the task up and
 // Done its device-side completion, exactly as in RunPagodaOpenLoop.
 func RunPagodaCluster(tasks []workloads.TaskDef, co ClusterOpenLoop, cfg Config) (Result, ClusterRun) {
+	co = co.normalize()
+	if co.Scaler.Enabled() {
+		return runElasticCluster(tasks, co, cfg, "pagoda",
+			func(eng *sim.Engine, name string, recs []serve.Record) elasticNode {
+				return newPagodaNode(eng, name, tasks, recs, co.nodeAdmit(), cfg)
+			})
+	}
 	eng := sim.New()
 	recs := make([]serve.Record, len(tasks))
 	nodes := make([]*pagodaNode, co.nodes())
 	fleet := make([]cluster.Node, len(nodes))
 	for i := range nodes {
 		nodes[i] = newPagodaNode(eng, fmt.Sprintf("node%02d", i), tasks, recs, co.nodeAdmit(), cfg)
+		nodes[i].admitTask = co.AdmitTask
 		fleet[i] = nodes[i]
 	}
 	nodeOf := make([]int, len(tasks))
@@ -368,8 +497,7 @@ func (n *hyperqNode) Close() {
 
 func (n *hyperqNode) finish(ti int) {
 	n.recs[ti].Done = n.eng.Now()
-	n.completed++
-	n.view.Done++
+	n.noteDone(ti)
 	n.doneSig.Broadcast()
 }
 
@@ -386,7 +514,7 @@ func (n *hyperqNode) host(p *sim.Proc) {
 		seq := n.seq
 		n.seq++
 		td := &n.tasks[ti]
-		if !n.admitNow(p.Now()) {
+		if !n.admitNow(ti, p.Now()) {
 			n.recs[ti].Dropped = true
 			n.view.Dropped++
 			continue
@@ -429,17 +557,30 @@ func RunHyperQCluster(tasks []workloads.TaskDef, co ClusterOpenLoop, cfg Config)
 	return runKernelPerTaskCluster(tasks, co, cfg, gpu.Oversub{}, "hyperq")
 }
 
+func (n *hyperqNode) devMetrics(sim.Time) (float64, float64) {
+	m := n.sys.dev.Metrics()
+	return m.AvgOccupancy, m.IssueUtil
+}
+
 // runKernelPerTaskCluster is the shared kernel-per-task fleet engine behind
 // RunHyperQCluster and RunZoruaCluster; scheme names the per-node trace
 // tracks ("node00/serve-<scheme>").
 func runKernelPerTaskCluster(tasks []workloads.TaskDef, co ClusterOpenLoop, cfg Config,
 	ov gpu.Oversub, scheme string) (Result, ClusterRun) {
+	co = co.normalize()
+	if co.Scaler.Enabled() {
+		return runElasticCluster(tasks, co, cfg, scheme,
+			func(eng *sim.Engine, name string, recs []serve.Record) elasticNode {
+				return newKernelPerTaskNode(eng, name, tasks, recs, co.nodeAdmit(), cfg, ov)
+			})
+	}
 	eng := sim.New()
 	recs := make([]serve.Record, len(tasks))
 	nodes := make([]*hyperqNode, co.nodes())
 	fleet := make([]cluster.Node, len(nodes))
 	for i := range nodes {
 		nodes[i] = newKernelPerTaskNode(eng, fmt.Sprintf("node%02d", i), tasks, recs, co.nodeAdmit(), cfg, ov)
+		nodes[i].admitTask = co.AdmitTask
 		fleet[i] = nodes[i]
 	}
 	nodeOf := make([]int, len(tasks))
@@ -506,7 +647,7 @@ func newGeMTCNode(eng *sim.Engine, name string, tasks []workloads.TaskDef,
 
 func (n *gemtcNode) Submit(p *sim.Proc, ti int) {
 	n.view.Routed++
-	if !n.admitNow(p.Now()) {
+	if !n.admitNow(ti, p.Now()) {
 		n.recs[ti].Dropped = true
 		n.view.Dropped++
 		return
@@ -620,23 +761,35 @@ func (n *gemtcNode) dispatch(p *sim.Proc) {
 		for _, ti := range batch {
 			n.recs[ti].Start = launchStart
 			n.recs[ti].Done = batchEnd
-			n.completed++
-			n.view.Done++
+			n.noteDone(ti)
 		}
 	}
 	n.endAt = n.sys.eng.Now()
+}
+
+func (n *gemtcNode) devMetrics(sim.Time) (float64, float64) {
+	m := n.sys.dev.Metrics()
+	return m.AvgOccupancy, m.IssueUtil
 }
 
 // RunGeMTCCluster executes timed arrivals on a GeMTC fleet. A task's Start
 // is its batch's launch on the owning node and its Done the whole batch's
 // end — the Fig. 10 batch property, now per node.
 func RunGeMTCCluster(tasks []workloads.TaskDef, co ClusterOpenLoop, cfg Config) (Result, ClusterRun) {
+	co = co.normalize()
+	if co.Scaler.Enabled() {
+		return runElasticCluster(tasks, co, cfg, "gemtc",
+			func(eng *sim.Engine, name string, recs []serve.Record) elasticNode {
+				return newGeMTCNode(eng, name, tasks, recs, co.nodeAdmit(), cfg)
+			})
+	}
 	eng := sim.New()
 	recs := make([]serve.Record, len(tasks))
 	nodes := make([]*gemtcNode, co.nodes())
 	fleet := make([]cluster.Node, len(nodes))
 	for i := range nodes {
 		nodes[i] = newGeMTCNode(eng, fmt.Sprintf("node%02d", i), tasks, recs, co.nodeAdmit(), cfg)
+		nodes[i].admitTask = co.AdmitTask
 		fleet[i] = nodes[i]
 	}
 	nodeOf := make([]int, len(tasks))
